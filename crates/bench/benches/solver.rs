@@ -1,0 +1,64 @@
+//! Ablation — dense vs sparse LU on RC-ladder MNA systems of growing size.
+//!
+//! Quantifies the simulator-substrate design choice called out in
+//! DESIGN.md: small MNA systems (the paper's models are ~10–20 unknowns)
+//! favour the dense factorization; the sparse left-looking LU wins as the
+//! ladder grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gabm_numeric::{DenseMatrix, LuFactor, SparseLu, TripletBuilder};
+use std::hint::black_box;
+
+/// Builds the tridiagonal conductance matrix of an n-stage RC ladder.
+fn ladder_dense(n: usize) -> DenseMatrix<f64> {
+    let mut m = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        m[(i, i)] = 2.0;
+        if i > 0 {
+            m[(i, i - 1)] = -1.0;
+        }
+        if i + 1 < n {
+            m[(i, i + 1)] = -1.0;
+        }
+    }
+    m
+}
+
+fn ladder_sparse(n: usize) -> gabm_numeric::SparseMatrix {
+    let mut b = TripletBuilder::new(n, n);
+    for i in 0..n {
+        b.push(i, i, 2.0);
+        if i > 0 {
+            b.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            b.push(i, i + 1, -1.0);
+        }
+    }
+    b.to_csc()
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_factor_solve_ladder");
+    for &n in &[8usize, 32, 128, 512] {
+        let dense = ladder_dense(n);
+        let sparse = ladder_sparse(n);
+        let rhs = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                let lu = LuFactor::new(&dense).expect("factorizes");
+                black_box(lu.solve(&rhs).expect("solves"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, _| {
+            b.iter(|| {
+                let lu = SparseLu::new(&sparse).expect("factorizes");
+                black_box(lu.solve(&rhs).expect("solves"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lu);
+criterion_main!(benches);

@@ -1,0 +1,561 @@
+//! Regenerates every table and figure of the paper (see DESIGN.md §4).
+//!
+//! ```text
+//! harness [experiment]
+//!   fig1       model development steps (definition card → diagram → code → simulation)
+//!   fig2       input stage: diagram + extracted Rin/Cin
+//!   fig3       output stage: diagram + extracted Rout/Ilim
+//!   fig4       power supply: current balance sheet of the comparator
+//!   fig5       slew rate: extracted rise/fall slopes
+//!   listing42  the generated §4.2 ELDO-FAS listing
+//!   fig6       comparator functional diagram
+//!   fig7       triggered-comparator transient, behavioural vs 11-MOS CMOS
+//!   table1     CPU-cost comparison (the paper's 4.9 s vs 15.2 s result)
+//!   modelcheck extracted vs assigned parameters (§2.4)
+//!   validity   range-of-validity scan (§2.4)
+//!   ablation   transient tolerance / integration-method cost sweep
+//!   bode       open-loop Bode of the behavioural opamp vs the analytic pole
+//!   all        everything above (default)
+//! ```
+//!
+//! SVG renderings of the diagrams are written to `figures/`.
+
+use gabm_bench::experiments::comparator_bench::{
+    behavioural_comparator_circuit, cmos_comparator_circuit, ComparatorStimulus,
+};
+use gabm_bench::experiments::constructs_bench::{diagram_dut, SlewBufferSpec};
+use gabm_charac::{check_model, rigs, validity, Bias};
+use gabm_codegen::{generate, Backend};
+use gabm_core::check::check_diagram;
+use gabm_core::constructs::{InputStageSpec, OutputStageSpec, PowerSupplySpec, SlewRateSpec};
+use gabm_core::diagram::FunctionalDiagram;
+use gabm_models::comparator::ComparatorSpec;
+use gabm_schematic::{render_ascii, render_svg};
+use gabm_sim::analysis::tran::TranSpec;
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    std::fs::create_dir_all("figures").ok();
+    let mut ran = false;
+    if all || which == "fig1" {
+        fig1();
+        ran = true;
+    }
+    if all || which == "fig2" {
+        fig2();
+        ran = true;
+    }
+    if all || which == "fig3" {
+        fig3();
+        ran = true;
+    }
+    if all || which == "fig4" {
+        fig4();
+        ran = true;
+    }
+    if all || which == "fig5" {
+        fig5();
+        ran = true;
+    }
+    if all || which == "listing42" {
+        listing42();
+        ran = true;
+    }
+    if all || which == "fig6" {
+        fig6();
+        ran = true;
+    }
+    if all || which == "fig7" {
+        fig7();
+        ran = true;
+    }
+    if all || which == "table1" {
+        table1();
+        ran = true;
+    }
+    if all || which == "modelcheck" {
+        modelcheck();
+        ran = true;
+    }
+    if all || which == "validity" {
+        validity_scan();
+        ran = true;
+    }
+    if all || which == "ablation" {
+        ablation();
+        ran = true;
+    }
+    if all || which == "bode" {
+        bode();
+        ran = true;
+    }
+    if !ran {
+        eprintln!("unknown experiment '{which}' — see the module docs for the list");
+        std::process::exit(2);
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n==================================================================");
+    println!("  {title}");
+    println!("==================================================================");
+}
+
+fn save_svg(d: &FunctionalDiagram, file: &str) {
+    let svg = render_svg(d);
+    let path = format!("figures/{file}");
+    if std::fs::write(&path, svg).is_ok() {
+        println!("  [svg written to {path}]");
+    }
+}
+
+/// E1 / Fig. 1 — the model development steps.
+fn fig1() {
+    banner("Fig. 1 — model development steps: card -> diagram -> code -> simulation");
+    let spec = InputStageSpec::new("in", 1.0e-6, 5.0e-12);
+    let card = spec.card().expect("card builds");
+    println!("{card}");
+    let diagram = spec.diagram().expect("diagram builds");
+    let report = check_diagram(&diagram);
+    println!(
+        "consistency check: {} errors, {} warnings",
+        report.error_count(),
+        report.warning_count()
+    );
+    print!("{}", render_ascii(&diagram));
+    let code = generate(&diagram, Backend::Fas).expect("code generates");
+    println!("{}", code.text);
+    // Simulate: the model must load a 1 V source with 1 µA.
+    let dut = diagram_dut(&diagram).expect("dut builds");
+    let rin = rigs::input_resistance(&dut, "in", &[]).expect("rig runs");
+    println!("simulated: {rin} (assigned 1e6 ohm)");
+}
+
+/// E2 / Fig. 2 — input stage.
+fn fig2() {
+    banner("Fig. 2 — input stage: functional diagram and extraction");
+    let assigned_rin = 1.0e6;
+    let assigned_cin = 5.0e-12;
+    let spec = InputStageSpec::new("in", 1.0 / assigned_rin, assigned_cin);
+    let diagram = spec.diagram().expect("diagram builds");
+    print!("{}", render_ascii(&diagram));
+    save_svg(&diagram, "fig2_input_stage.svg");
+    let dut = diagram_dut(&diagram).expect("dut builds");
+    let rin = rigs::input_resistance(&dut, "in", &[]).expect("rin rig");
+    let cin = rigs::input_capacitance(&dut, "in", &[], assigned_cin).expect("cin rig");
+    println!("{:<12} {:>14} {:>14}", "parameter", "assigned", "extracted");
+    println!("{:<12} {:>14.4e} {:>14.4e}", "rin [ohm]", assigned_rin, rin.value);
+    println!("{:<12} {:>14.4e} {:>14.4e}", "cin [F]", assigned_cin, cin.value);
+}
+
+/// E3 / Fig. 3 — output stage.
+fn fig3() {
+    banner("Fig. 3 — output stage: functional diagram and extraction");
+    let gout = 1.0e-3;
+    let ilim = 10.0e-3;
+    let spec = OutputStageSpec::new("out", gout).with_current_limit(ilim);
+    let diagram = spec.diagram().expect("diagram builds");
+    print!("{}", render_ascii(&diagram));
+    save_svg(&diagram, "fig3_output_stage.svg");
+    let dut = diagram_dut(&diagram).expect("dut builds");
+    let rout = rigs::output_resistance(&dut, "out", &[], 1.0e-4).expect("rout rig");
+    let ilim_x = rigs::output_current_limit(&dut, "out", &[], 0.1, 0.5).expect("ilim rig");
+    println!("{:<12} {:>14} {:>14}", "parameter", "assigned", "extracted");
+    println!("{:<12} {:>14.4e} {:>14.4e}", "rout [ohm]", 1.0 / gout, rout.value);
+    println!("{:<12} {:>14.4e} {:>14.4e}", "ilim [A]", ilim, ilim_x.value);
+}
+
+/// E4 / Fig. 4 — power supply balance sheet.
+fn fig4() {
+    banner("Fig. 4 — power supply: current balance sheet");
+    let psu = PowerSupplySpec::new("vdd", "vss", 1.0e-5, 1.0e-4, 2);
+    let diagram = psu.diagram().expect("diagram builds");
+    print!("{}", render_ascii(&diagram));
+    save_svg(&diagram, "fig4_power_supply.svg");
+    // Measure the balance on the full comparator model.
+    let spec = ComparatorSpec::default();
+    let model = gabm_fas::compile(&spec.fas_code().expect("code")).expect("compiles");
+    let dut = gabm_models::dut::fas_dut(model, Default::default()).expect("dut");
+    let xs = rigs::supply_currents(
+        &dut,
+        "vdd",
+        "vss",
+        &[
+            ("inp", Bias::Voltage(0.2)),
+            ("inn", Bias::Voltage(-0.2)),
+            ("strobe", Bias::Voltage(1.0)),
+            ("vdd", Bias::Voltage(2.5)),
+            ("vss", Bias::Voltage(-2.5)),
+        ],
+    )
+    .expect("supply rig");
+    for x in &xs {
+        println!("  {x}");
+    }
+    let analytic = spec.gpol * 5.0 + spec.iloss;
+    println!("  analytic i_vdd ~ gpol*(vdd-vss) + iloss = {analytic:.4e} A (plus stage currents)");
+}
+
+/// E5 / Fig. 5 — slew rate.
+fn fig5() {
+    banner("Fig. 5 — slew-rate block: diagram and extracted slopes");
+    let slew = SlewRateSpec::new(1.0e6, 0.5e6);
+    let diagram = slew.diagram().expect("diagram builds");
+    print!("{}", render_ascii(&diagram));
+    save_svg(&diagram, "fig5_slew_rate.svg");
+    let buffer = SlewBufferSpec::default();
+    let dut = diagram_dut(&buffer.diagram().expect("buffer diagram")).expect("dut");
+    let (rise, fall) =
+        rigs::slew_rates(&dut, "in", "out", &[], -1.0, 1.0, 40.0e-6).expect("slew rig");
+    println!("{:<14} {:>14} {:>14}", "parameter", "assigned", "extracted");
+    println!(
+        "{:<14} {:>14.4e} {:>14.4e}",
+        "srise [V/s]", buffer.slew_rise, rise.value
+    );
+    println!(
+        "{:<14} {:>14.4e} {:>14.4e}",
+        "sfall [V/s]", buffer.slew_fall, fall.value
+    );
+}
+
+/// E6 / §4.2 — the generated FAS listing.
+fn listing42() {
+    banner("Section 4.2 — generated ELDO-FAS code of the input stage");
+    let diagram = InputStageSpec::new("in", 1.0e-6, 5.0e-12)
+        .diagram()
+        .expect("diagram builds");
+    let code = generate(&diagram, Backend::Fas).expect("generates");
+    println!("{}", code.text);
+    println!("--- the same diagram in VHDL-AMS ---");
+    println!("{}", generate(&diagram, Backend::VhdlAms).expect("vhdl").text);
+    println!("--- and in MAST ---");
+    println!("{}", generate(&diagram, Backend::Mast).expect("mast").text);
+}
+
+/// E7 / Fig. 6 — the comparator functional diagram.
+fn fig6() {
+    banner("Fig. 6 — functional diagram of the triggered comparator");
+    let spec = ComparatorSpec::default();
+    println!("{}", spec.card().expect("card builds"));
+    let diagram = spec.diagram().expect("diagram builds");
+    let report = check_diagram(&diagram);
+    println!(
+        "symbols: {}, nets: {}, consistency: {} errors / {} warnings",
+        diagram.symbol_count(),
+        diagram.nets().count(),
+        report.error_count(),
+        report.warning_count()
+    );
+    print!("{}", render_ascii(&diagram));
+    save_svg(&diagram, "fig6_comparator.svg");
+}
+
+/// E8 / Fig. 7 — transient waveforms, behavioural vs transistor-level.
+fn fig7() {
+    banner("Fig. 7 — simulation of the triggered comparator (60 us)");
+    let stim = ComparatorStimulus::default();
+    let tstop = 60.0e-6;
+    let (mut beh, bn) = behavioural_comparator_circuit(&stim).expect("behavioural bench");
+    let rb = beh.tran(&TranSpec::new(tstop)).expect("behavioural tran");
+    let w_beh = rb.voltage_waveform(bn[3]).expect("waveform");
+    let w_in = rb.voltage_waveform(bn[0]).expect("waveform");
+    let w_stb = rb.voltage_waveform(bn[2]).expect("waveform");
+    let (mut cmos, cn) = cmos_comparator_circuit(&stim).expect("cmos bench");
+    let rc = cmos.tran(&TranSpec::new(tstop)).expect("cmos tran");
+    let w_cmos = rc.voltage_waveform(cn[3]).expect("waveform");
+
+    // Terminal oscillogram, like the paper's figure.
+    let opts = gabm_numeric::plot::PlotOptions {
+        width: 96,
+        height: 14,
+        y_range: Some((-2.8, 2.8)),
+    };
+    if let Ok(plot) = gabm_numeric::plot::ascii_plot(
+        &[
+            ("input (inp)", &w_in),
+            ("out behavioural", &w_beh),
+            ("out CMOS", &w_cmos),
+        ],
+        &opts,
+    ) {
+        println!("{plot}");
+    }
+    println!("time_us,vin_p,strobe,out_behavioural,out_cmos");
+    let n = 120;
+    for k in 0..=n {
+        let t = tstop * k as f64 / n as f64;
+        println!(
+            "{:8.3},{:8.4},{:8.3},{:8.4},{:8.4}",
+            t * 1e6,
+            w_in.value_at(t).unwrap_or(0.0),
+            w_stb.value_at(t).unwrap_or(0.0),
+            w_beh.value_at(t).unwrap_or(0.0),
+            w_cmos.value_at(t).unwrap_or(0.0)
+        );
+    }
+    // Decision agreement inside strobe windows.
+    let mut agree = 0;
+    let mut total = 0;
+    for (lo, hi) in stim.strobe_windows(tstop) {
+        let t = 0.5 * (lo + hi);
+        let vb = w_beh.value_at(t).unwrap_or(0.0);
+        let vc = w_cmos.value_at(t).unwrap_or(0.0);
+        if vb.abs() > 0.5 && vc.abs() > 0.5 {
+            total += 1;
+            if vb.signum() == vc.signum() {
+                agree += 1;
+            }
+        }
+    }
+    println!("decision agreement inside strobe windows: {agree}/{total}");
+    std::fs::write(
+        "figures/fig7_behavioural.csv",
+        w_beh.to_csv("out_behavioural"),
+    )
+    .ok();
+    std::fs::write("figures/fig7_cmos.csv", w_cmos.to_csv("out_cmos")).ok();
+    println!("  [series written to figures/fig7_*.csv]");
+}
+
+/// E9 / the §5 timing table. Each transient is repeated and the fastest
+/// run reported (the runs are milliseconds long, so scheduling noise
+/// otherwise dominates).
+fn table1() {
+    banner("Table — CPU cost: FAS model vs transistor circuit (paper: 4.9 s vs 15.2 s)");
+    let stim = ComparatorStimulus::default();
+    let tstop = 60.0e-6;
+    const REPS: usize = 7;
+
+    let mut t_beh = f64::INFINITY;
+    let mut rb = None;
+    let mut beh_unknowns = 0;
+    for _ in 0..REPS {
+        let (mut beh, _) = behavioural_comparator_circuit(&stim).expect("behavioural bench");
+        beh_unknowns = beh.n_unknowns();
+        let t0 = Instant::now();
+        let r = beh.tran(&TranSpec::new(tstop)).expect("behavioural tran");
+        t_beh = t_beh.min(t0.elapsed().as_secs_f64());
+        rb = Some(r);
+    }
+    let rb = rb.expect("at least one repetition");
+
+    let mut t_cmos = f64::INFINITY;
+    let mut rc = None;
+    let mut cmos_unknowns = 0;
+    for _ in 0..REPS {
+        let (mut cmos, _) = cmos_comparator_circuit(&stim).expect("cmos bench");
+        cmos_unknowns = cmos.n_unknowns();
+        let t0 = Instant::now();
+        let r = cmos.tran(&TranSpec::new(tstop)).expect("cmos tran");
+        t_cmos = t_cmos.min(t0.elapsed().as_secs_f64());
+        rc = Some(r);
+    }
+    let rc = rc.expect("at least one repetition");
+
+    println!(
+        "{:<24} {:>9} {:>8} {:>9} {:>10} {:>10}",
+        "model", "unknowns", "steps", "NR iters", "time [s]", "vs paper"
+    );
+    println!(
+        "{:<24} {:>9} {:>8} {:>9} {:>10.3} {:>10}",
+        "FAS behavioural",
+        beh_unknowns,
+        rb.stats.accepted_steps,
+        rb.stats.newton_iterations,
+        t_beh,
+        "4.9 s"
+    );
+    println!(
+        "{:<24} {:>9} {:>8} {:>9} {:>10.3} {:>10}",
+        "CMOS circuit (11 MOS)",
+        cmos_unknowns,
+        rc.stats.accepted_steps,
+        rc.stats.newton_iterations,
+        t_cmos,
+        "15.2 s"
+    );
+    println!(
+        "speedup: measured {:.2}x — paper reports 15.2/4.9 = 3.1x (Sun Sparc 10/30)",
+        t_cmos / t_beh
+    );
+}
+
+/// E10 / §2.4 — the model check.
+fn modelcheck() {
+    banner("Section 2.4 — model check: extracted vs assigned parameters");
+    // Input stage.
+    let rin = 1.0e6;
+    let cin = 5.0e-12;
+    let in_spec = InputStageSpec::new("in", 1.0 / rin, cin);
+    let dut = diagram_dut(&in_spec.diagram().expect("diagram")).expect("dut");
+    let x_rin = rigs::input_resistance(&dut, "in", &[]).expect("rin");
+    let x_cin = rigs::input_capacitance(&dut, "in", &[], cin).expect("cin");
+    let report = check_model(
+        "input_stage",
+        &[(("rin", rin), &x_rin), (("cin", cin), &x_cin)],
+        0.15,
+    );
+    println!("{report}\n");
+    // Slew buffer.
+    let buffer = SlewBufferSpec::default();
+    let dut = diagram_dut(&buffer.diagram().expect("diagram")).expect("dut");
+    let (x_rise, x_fall) =
+        rigs::slew_rates(&dut, "in", "out", &[], -1.0, 1.0, 40.0e-6).expect("slew");
+    let rout = rigs::output_resistance(&dut, "out", &[], 1.0e-4).expect("rout");
+    let report = check_model(
+        "slew_buffer",
+        &[
+            (("srise", buffer.slew_rise), &x_rise),
+            (("sfall", buffer.slew_fall), &x_fall),
+            (("rout", 1.0 / buffer.gout), &rout),
+        ],
+        0.2,
+    );
+    println!("{report}");
+}
+
+/// §2.4 — range of validity: the slew buffer tracks a sine only while the
+/// demanded slope stays below its slew limit.
+fn validity_scan() {
+    banner("Section 2.4 — range of validity of the slew buffer vs input frequency");
+    let buffer = SlewBufferSpec::default();
+    let diagram = buffer.diagram().expect("diagram");
+    let amplitude = 1.0;
+    let result = validity::scan_validity("frequency [Hz]", 1.0e3, 3.0e6, 13, 0.2, |f| {
+        let dut = diagram_dut(&diagram).map_err(gabm_charac::CharacError::BadRig)?;
+        let (mut ckt, nodes) = gabm_charac_scaffold(&dut)?;
+        ckt.add_vsource(
+            "VIN",
+            nodes.0,
+            gabm_sim::Circuit::GROUND,
+            gabm_sim::devices::SourceWave::sine(0.0, amplitude, f),
+        );
+        let periods = 3.0;
+        let r = ckt
+            .tran(&TranSpec::new(periods / f))
+            .map_err(gabm_charac::CharacError::Sim)?;
+        let w_out = r.voltage_waveform(nodes.1).map_err(gabm_charac::CharacError::Sim)?;
+        let w_in = r.voltage_waveform(nodes.0).map_err(gabm_charac::CharacError::Sim)?;
+        let rms = w_out
+            .rms_difference(&w_in)
+            .map_err(|e| gabm_charac::CharacError::ExtractionFailed(e.to_string()))?;
+        Ok(rms / amplitude)
+    })
+    .expect("scan runs");
+    let predicted = buffer.slew_fall / (2.0 * std::f64::consts::PI * amplitude);
+    println!(
+        "valid from {:.3e} Hz to {:.3e} Hz ({} runs); slew-limit prediction ~{:.3e} Hz",
+        result.lo, result.hi, result.evaluations, predicted
+    );
+}
+
+/// Extension: open-loop Bode plot of the behavioural opamp, extracted with
+/// the transient frequency-response rig and compared against the analytic
+/// single-pole law A0/√(1+(f/fp)²) — the transfer-function GBS (§3.1b) made
+/// measurable.
+fn bode() {
+    banner("Extension — open-loop Bode of the behavioural opamp (single pole)");
+    let a0 = 100.0;
+    let pole_hz = 1.0e3;
+    let spec = gabm_models::OpampSpec {
+        a0,
+        pole_hz,
+        ..gabm_models::OpampSpec::default()
+    };
+    let model = gabm_fas::compile(&spec.fas_code().expect("code")).expect("compiles");
+    let dut = gabm_models::dut::fas_dut(model, Default::default()).expect("dut");
+    let freqs = [
+        pole_hz / 100.0,
+        pole_hz / 10.0,
+        pole_hz,
+        pole_hz * 10.0,
+        pole_hz * 30.0,
+    ];
+    let pts = rigs::frequency_response(
+        &dut,
+        "inp",
+        "out",
+        &[("inn", Bias::Ground)],
+        &freqs,
+        1.0e-3,
+        3,
+    )
+    .expect("frequency response");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "f [Hz]", "gain meas", "gain analytic", "phase [deg]"
+    );
+    for p in &pts {
+        let analytic = a0 / (1.0 + (p.freq / pole_hz).powi(2)).sqrt();
+        println!(
+            "{:>12.3e} {:>12.3} {:>12.3} {:>10.1}",
+            p.freq, p.gain, analytic, p.phase_deg
+        );
+    }
+}
+
+/// Ablation: accuracy vs cost of the transient engine on the behavioural
+/// comparator — LTE tolerance and integration method sweeps. Quantifies the
+/// "variable time intervals" design point of §3.3 and the discontinuity
+/// handling of §4.
+fn ablation() {
+    banner("Ablation — transient tolerance & integration method (behavioural comparator)");
+    let stim = ComparatorStimulus::default();
+    let tstop = 60.0e-6;
+    // Reference: tight tolerance.
+    let reference = {
+        let (mut ckt, n) = behavioural_comparator_circuit(&stim).expect("bench builds");
+        ckt.options.tran_tol = 1e-5;
+        let r = ckt.tran(&TranSpec::new(tstop)).expect("reference tran");
+        r.voltage_waveform(n[3]).expect("waveform")
+    };
+    println!(
+        "{:<26} {:>8} {:>10} {:>14}",
+        "configuration", "steps", "NR iters", "RMS vs ref [V]"
+    );
+    for (label, tol, method) in [
+        ("tol=1e-2, trapezoidal", 1e-2, None),
+        ("tol=1e-3, trapezoidal", 1e-3, None),
+        ("tol=1e-4, trapezoidal", 1e-4, None),
+        (
+            "tol=1e-3, backward Euler",
+            1e-3,
+            Some(gabm_numeric::integrate::Method::BackwardEuler),
+        ),
+        (
+            "tol=1e-3, Gear-2",
+            1e-3,
+            Some(gabm_numeric::integrate::Method::Gear2),
+        ),
+    ] {
+        let (mut ckt, n) = behavioural_comparator_circuit(&stim).expect("bench builds");
+        ckt.options.tran_tol = tol;
+        let mut spec = TranSpec::new(tstop);
+        if let Some(m) = method {
+            spec = spec.with_method(m);
+        }
+        let r = ckt.tran(&spec).expect("tran runs");
+        let w = r.voltage_waveform(n[3]).expect("waveform");
+        let rms = w.rms_difference(&reference).unwrap_or(f64::NAN);
+        println!(
+            "{label:<26} {:>8} {:>10} {:>14.4e}",
+            r.stats.accepted_steps, r.stats.newton_iterations, rms
+        );
+    }
+}
+
+/// Tiny local scaffold for the validity scan: DUT with in/out nodes.
+fn gabm_charac_scaffold(
+    dut: &impl gabm_charac::Dut,
+) -> Result<(gabm_sim::Circuit, (gabm_sim::NodeId, gabm_sim::NodeId)), gabm_charac::CharacError> {
+    let mut ckt = gabm_sim::Circuit::new();
+    let n_in = ckt.node("in");
+    let n_out = ckt.node("out");
+    dut.instantiate(&mut ckt, "DUT", &[n_in, n_out])
+        .map_err(gabm_charac::CharacError::Sim)?;
+    ckt.add_resistor("RL", n_out, gabm_sim::Circuit::GROUND, 10.0e3)
+        .map_err(gabm_charac::CharacError::Sim)?;
+    Ok((ckt, (n_in, n_out)))
+}

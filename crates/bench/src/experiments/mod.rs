@@ -1,0 +1,4 @@
+//! One module per paper experiment (see DESIGN.md §4).
+
+pub mod comparator_bench;
+pub mod constructs_bench;

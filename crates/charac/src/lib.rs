@@ -1,0 +1,264 @@
+//! Automatic characterization of behavioural models (the paper's §2.4).
+//!
+//! "Using a flexible, automatic characterization tool, the validity of the
+//! behavioural model generated can be verified. In order to do this, the
+//! characterization tool will surround the model with some extraction rigs
+//! and perform many analogue simulation runs in order to extract the model
+//! instance parameters. If the model runs correctly, the values extracted
+//! should match the ones assigned to the input parameters. This method can
+//! also be used to determine the range of validity of models."
+//!
+//! This crate is the stand-in for CSEM's SimBoy tool (paper refs \[8\], \[9\]):
+//!
+//! * [`Dut`] — anything that can instantiate itself into a circuit (a
+//!   compiled FAS model, a transistor netlist, a hand-written behavioural
+//!   device);
+//! * [`rigs`] — extraction rigs: DC transfer, input impedance, output
+//!   impedance & current limit, slew rate, supply current;
+//! * [`model_check`] — runs rigs, compares extracted vs assigned parameter
+//!   values, and renders a pass/fail report;
+//! * [`validity`] — bisects a stimulus range for the boundary where a
+//!   model stops tracking an expected value.
+
+pub mod model_check;
+pub mod monte_carlo;
+pub mod rigs;
+pub mod validity;
+
+pub use model_check::{check_model, CheckRow, ModelCheckReport};
+
+use gabm_sim::circuit::{Circuit, NodeId};
+use gabm_sim::SimError;
+use std::fmt;
+
+/// A device under test: can instantiate a fresh copy of itself into a rig
+/// circuit.
+///
+/// Implementations must be repeatable — rigs build many circuits, each with
+/// its own DUT instance.
+pub trait Dut {
+    /// Pin names, defining the order of `nodes` in [`Dut::instantiate`].
+    fn pin_names(&self) -> Vec<String>;
+
+    /// Adds one instance of the DUT to `ckt`, connected to `nodes` (same
+    /// order as [`Dut::pin_names`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist-construction errors.
+    fn instantiate(&self, ckt: &mut Circuit, name: &str, nodes: &[NodeId])
+        -> Result<(), SimError>;
+
+    /// Index of the named pin.
+    fn pin_index(&self, name: &str) -> Option<usize> {
+        self.pin_names().iter().position(|p| p == name)
+    }
+}
+
+/// A [`Dut`] built from a closure — the easiest way to wrap a compiled FAS
+/// model or a transistor-level subcircuit.
+pub struct FnDut<F> {
+    pins: Vec<String>,
+    build: F,
+}
+
+impl<F> FnDut<F>
+where
+    F: Fn(&mut Circuit, &str, &[NodeId]) -> Result<(), SimError>,
+{
+    /// Creates a DUT with the given pin names and instantiation closure.
+    pub fn new(pins: &[&str], build: F) -> Self {
+        FnDut {
+            pins: pins.iter().map(|p| p.to_string()).collect(),
+            build,
+        }
+    }
+}
+
+impl<F> fmt::Debug for FnDut<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnDut").field("pins", &self.pins).finish()
+    }
+}
+
+impl<F> Dut for FnDut<F>
+where
+    F: Fn(&mut Circuit, &str, &[NodeId]) -> Result<(), SimError>,
+{
+    fn pin_names(&self) -> Vec<String> {
+        self.pins.clone()
+    }
+
+    fn instantiate(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        nodes: &[NodeId],
+    ) -> Result<(), SimError> {
+        (self.build)(ckt, name, nodes)
+    }
+}
+
+/// Fixed bias applied to a non-stimulated DUT pin during an extraction run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bias {
+    /// Tie to a DC voltage.
+    Voltage(f64),
+    /// Tie to ground.
+    Ground,
+    /// Leave floating (a weak 1 GΩ bleeder keeps the matrix non-singular).
+    Open,
+}
+
+/// One extracted value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction {
+    /// Quantity name (e.g. `"rin"`).
+    pub name: String,
+    /// Extracted value in SI units.
+    pub value: f64,
+    /// Unit label for reports.
+    pub unit: &'static str,
+}
+
+impl fmt::Display for Extraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {:.6e} {}", self.name, self.value, self.unit)
+    }
+}
+
+/// Errors of the characterization tool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharacError {
+    /// Simulation of a rig failed.
+    Sim(SimError),
+    /// A rig could not derive its value from the simulation traces.
+    ExtractionFailed(String),
+    /// Rig configuration error (unknown pin, inconsistent sweep).
+    BadRig(String),
+}
+
+impl fmt::Display for CharacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharacError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CharacError::ExtractionFailed(msg) => write!(f, "extraction failed: {msg}"),
+            CharacError::BadRig(msg) => write!(f, "bad rig: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CharacError {}
+
+impl From<SimError> for CharacError {
+    fn from(e: SimError) -> Self {
+        CharacError::Sim(e)
+    }
+}
+
+impl From<gabm_numeric::NumericError> for CharacError {
+    fn from(e: gabm_numeric::NumericError) -> Self {
+        CharacError::ExtractionFailed(e.to_string())
+    }
+}
+
+/// Builds the standard rig scaffold: a circuit with the DUT instantiated and
+/// every pin in `bias` tied off. Returns the circuit and the node of each
+/// DUT pin.
+pub(crate) fn scaffold(
+    dut: &dyn Dut,
+    bias: &[(&str, Bias)],
+) -> Result<(Circuit, Vec<NodeId>), CharacError> {
+    let mut ckt = Circuit::new();
+    let pins = dut.pin_names();
+    let nodes: Vec<NodeId> = pins.iter().map(|p| ckt.node(&format!("dut_{p}"))).collect();
+    dut.instantiate(&mut ckt, "DUT", &nodes)?;
+    for (pin, b) in bias {
+        let idx = dut
+            .pin_index(pin)
+            .ok_or_else(|| CharacError::BadRig(format!("unknown DUT pin '{pin}'")))?;
+        let node = nodes[idx];
+        match b {
+            Bias::Voltage(v) => {
+                ckt.add_vsource(
+                    &format!("VB_{pin}"),
+                    node,
+                    Circuit::GROUND,
+                    gabm_sim::devices::SourceWave::dc(*v),
+                );
+            }
+            Bias::Ground => {
+                ckt.add_vsource(
+                    &format!("VB_{pin}"),
+                    node,
+                    Circuit::GROUND,
+                    gabm_sim::devices::SourceWave::dc(0.0),
+                );
+            }
+            Bias::Open => {
+                ckt.add_resistor(&format!("RB_{pin}"), node, Circuit::GROUND, 1.0e9)
+                    .map_err(CharacError::Sim)?;
+            }
+        }
+    }
+    Ok((ckt, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gabm_sim::devices::SourceWave;
+
+    fn resistor_dut(ohms: f64) -> impl Dut {
+        FnDut::new(&["a", "b"], move |ckt, name, nodes| {
+            ckt.add_resistor(name, nodes[0], nodes[1], ohms)
+        })
+    }
+
+    #[test]
+    fn fn_dut_roundtrip() {
+        let dut = resistor_dut(100.0);
+        assert_eq!(dut.pin_names(), vec!["a", "b"]);
+        assert_eq!(dut.pin_index("b"), Some(1));
+        assert_eq!(dut.pin_index("z"), None);
+    }
+
+    #[test]
+    fn scaffold_biases_pins() {
+        let dut = resistor_dut(1000.0);
+        let (mut ckt, nodes) = scaffold(&dut, &[("b", Bias::Ground)]).unwrap();
+        // Drive pin a and solve.
+        ckt.add_vsource("VS", nodes[0], Circuit::GROUND, SourceWave::dc(1.0));
+        let op = ckt.op().unwrap();
+        assert!((op.voltage(nodes[0]) - 1.0).abs() < 1e-9);
+        assert!(op.voltage(nodes[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaffold_rejects_unknown_pin() {
+        let dut = resistor_dut(1000.0);
+        assert!(matches!(
+            scaffold(&dut, &[("zz", Bias::Ground)]),
+            Err(CharacError::BadRig(_))
+        ));
+    }
+
+    #[test]
+    fn error_conversions() {
+        let e: CharacError = SimError::UnknownDevice("x".into()).into();
+        assert!(e.to_string().contains("simulation failed"));
+        let e: CharacError = gabm_numeric::NumericError::Empty.into();
+        assert!(matches!(e, CharacError::ExtractionFailed(_)));
+    }
+
+    #[test]
+    fn extraction_display() {
+        let x = Extraction {
+            name: "rin".into(),
+            value: 1e6,
+            unit: "ohm",
+        };
+        assert!(x.to_string().contains("rin"));
+        assert!(x.to_string().contains("ohm"));
+    }
+}

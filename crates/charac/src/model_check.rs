@@ -1,0 +1,164 @@
+//! The model check: extracted vs assigned parameter values (§2.4).
+
+use crate::Extraction;
+use std::fmt;
+
+/// One row of a model-check report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRow {
+    /// Parameter name.
+    pub parameter: String,
+    /// Value assigned to the model instance.
+    pub assigned: f64,
+    /// Value the rig extracted back.
+    pub extracted: f64,
+    /// Relative error `|extracted − assigned| / |assigned|`.
+    pub rel_error: f64,
+    /// Whether the row is within tolerance.
+    pub pass: bool,
+}
+
+/// The outcome of checking one model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelCheckReport {
+    /// Model name.
+    pub model: String,
+    /// Per-parameter rows.
+    pub rows: Vec<CheckRow>,
+    /// Tolerance used.
+    pub tolerance: f64,
+}
+
+impl ModelCheckReport {
+    /// `true` if every row passed.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    /// Number of failing rows.
+    pub fn failures(&self) -> usize {
+        self.rows.iter().filter(|r| !r.pass).count()
+    }
+}
+
+impl fmt::Display for ModelCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model check: {} (tolerance {:.1}%)",
+            self.model,
+            self.tolerance * 100.0
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>14} {:>9}  result",
+            "parameter", "assigned", "extracted", "error"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>14.6e} {:>14.6e} {:>8.2}%  {}",
+                r.parameter,
+                r.assigned,
+                r.extracted,
+                r.rel_error * 100.0,
+                if r.pass { "PASS" } else { "FAIL" }
+            )?;
+        }
+        write!(
+            f,
+            "=> {}",
+            if self.passed() {
+                "model behaves as specified"
+            } else {
+                "model deviates from its parameters"
+            }
+        )
+    }
+}
+
+/// Compares extracted values with assigned parameter values.
+///
+/// `pairs` maps an assigned `(name, value)` to the extraction that should
+/// reproduce it. "If the model runs correctly, the values extracted should
+/// match the ones assigned to the input parameters."
+pub fn check_model(
+    model: &str,
+    pairs: &[((&str, f64), &Extraction)],
+    tolerance: f64,
+) -> ModelCheckReport {
+    let rows = pairs
+        .iter()
+        .map(|((name, assigned), extraction)| {
+            let rel_error = if *assigned == 0.0 {
+                extraction.value.abs()
+            } else {
+                (extraction.value - assigned).abs() / assigned.abs()
+            };
+            CheckRow {
+                parameter: (*name).to_string(),
+                assigned: *assigned,
+                extracted: extraction.value,
+                rel_error,
+                pass: rel_error <= tolerance,
+            }
+        })
+        .collect();
+    ModelCheckReport {
+        model: model.to_string(),
+        rows,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(name: &str, value: f64) -> Extraction {
+        Extraction {
+            name: name.to_string(),
+            value,
+            unit: "",
+        }
+    }
+
+    #[test]
+    fn passing_check() {
+        let e = x("rin", 1.001e6);
+        let report = check_model("input_stage", &[(("rin", 1.0e6), &e)], 0.01);
+        assert!(report.passed());
+        assert_eq!(report.failures(), 0);
+        assert!(report.rows[0].rel_error < 0.01);
+    }
+
+    #[test]
+    fn failing_check() {
+        let e = x("rin", 2.0e6);
+        let report = check_model("input_stage", &[(("rin", 1.0e6), &e)], 0.01);
+        assert!(!report.passed());
+        assert_eq!(report.failures(), 1);
+    }
+
+    #[test]
+    fn zero_assigned_uses_absolute() {
+        // With a zero assigned value the absolute extraction is the error.
+        let big = x("offset", 0.1);
+        let report = check_model("m", &[(("offset", 0.0), &big)], 0.01);
+        assert!(!report.passed());
+        let small = x("offset", 1e-3);
+        let report2 = check_model("m", &[(("offset", 0.0), &small)], 0.01);
+        assert_eq!(report2.rows[0].rel_error, 1e-3);
+        assert!(report2.passed());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let e = x("rin", 1.0e6);
+        let report = check_model("input_stage", &[(("rin", 1.0e6), &e)], 0.05);
+        let s = report.to_string();
+        assert!(s.contains("PASS"));
+        assert!(s.contains("input_stage"));
+        assert!(s.contains("behaves as specified"));
+    }
+}

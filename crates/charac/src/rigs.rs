@@ -1,0 +1,635 @@
+//! Extraction rigs.
+//!
+//! Each rig surrounds the DUT with sources and loads, runs one or more
+//! analogue analyses, and measures model instance parameters from the
+//! traces — "many analogue simulation runs in order to extract the model
+//! instance parameters" (§2.4).
+
+use crate::{scaffold, Bias, CharacError, Dut, Extraction};
+use gabm_numeric::measure;
+use gabm_sim::analysis::tran::TranSpec;
+use gabm_sim::circuit::Circuit;
+use gabm_sim::devices::SourceWave;
+
+/// Extracts the DC input resistance seen into `pin`: two-point I/V probe
+/// with a current source.
+///
+/// # Errors
+///
+/// Simulation or extraction failures.
+pub fn input_resistance(
+    dut: &dyn Dut,
+    pin: &str,
+    bias: &[(&str, Bias)],
+) -> Result<Extraction, CharacError> {
+    let probe = |current: f64| -> Result<f64, CharacError> {
+        let (mut ckt, nodes) = scaffold(dut, bias)?;
+        let idx = dut
+            .pin_index(pin)
+            .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{pin}'")))?;
+        ckt.add_isource(
+            "IPROBE",
+            Circuit::GROUND,
+            nodes[idx],
+            SourceWave::dc(current),
+        );
+        let op = ckt.op()?;
+        Ok(op.voltage(nodes[idx]))
+    };
+    let i0 = 0.0;
+    let i1 = 1.0e-9;
+    let v0 = probe(i0)?;
+    let v1 = probe(i1)?;
+    let rin = (v1 - v0) / (i1 - i0);
+    Ok(Extraction {
+        name: format!("rin_{pin}"),
+        value: rin,
+        unit: "ohm",
+    })
+}
+
+/// Extracts the input capacitance at `pin` from the RC time constant of a
+/// step response through a known series resistor.
+///
+/// The DUT's input resistance is measured first so the Thévenin resistance
+/// is known: `cin = tau / (rs ∥ rin)`.
+///
+/// # Errors
+///
+/// Simulation or extraction failures.
+pub fn input_capacitance(
+    dut: &dyn Dut,
+    pin: &str,
+    bias: &[(&str, Bias)],
+    expected_scale: f64,
+) -> Result<Extraction, CharacError> {
+    let rin = input_resistance(dut, pin, bias)?.value;
+    // Series resistor comparable to rin gives a well-conditioned divider.
+    let rs = rin.clamp(1.0e3, 1.0e9);
+    let rth = rs * rin / (rs + rin);
+    // Expected tau guides the transient length.
+    let tau_guess = rth * expected_scale.max(1.0e-15);
+    let tstop = 10.0 * tau_guess;
+    let (mut ckt, nodes) = scaffold(dut, bias)?;
+    let idx = dut
+        .pin_index(pin)
+        .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{pin}'")))?;
+    let src = ckt.node("rig_src");
+    ckt.add_vsource(
+        "VSTEP",
+        src,
+        Circuit::GROUND,
+        SourceWave::pulse(0.0, 1.0, tstop * 0.01, tstop * 1e-4, tstop * 1e-4, tstop, 0.0),
+    );
+    ckt.add_resistor("RS", src, nodes[idx], rs)?;
+    let result = ckt.tran(&TranSpec::new(tstop))?;
+    let w = result.voltage_waveform(nodes[idx])?;
+    // Final value and 63.2 % crossing give tau.
+    let v_end = *w.values().last().ok_or_else(|| {
+        CharacError::ExtractionFailed("empty transient".to_string())
+    })?;
+    let t0 = tstop * 0.01;
+    let target = 0.632 * v_end;
+    let t63 = measure::first_crossing_after(&w, target, measure::Edge::Rising, t0)?
+        .ok_or_else(|| CharacError::ExtractionFailed("no 63% crossing".to_string()))?;
+    let tau = t63 - t0;
+    Ok(Extraction {
+        name: format!("cin_{pin}"),
+        value: tau / rth,
+        unit: "F",
+    })
+}
+
+/// Extracts the DC output resistance at `pin` by loading it with two test
+/// currents and measuring the voltage droop.
+///
+/// # Errors
+///
+/// Simulation or extraction failures.
+pub fn output_resistance(
+    dut: &dyn Dut,
+    pin: &str,
+    bias: &[(&str, Bias)],
+    test_current: f64,
+) -> Result<Extraction, CharacError> {
+    let probe = |current: f64| -> Result<f64, CharacError> {
+        let (mut ckt, nodes) = scaffold(dut, bias)?;
+        let idx = dut
+            .pin_index(pin)
+            .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{pin}'")))?;
+        ckt.add_isource("ILOAD", nodes[idx], Circuit::GROUND, SourceWave::dc(current));
+        let op = ckt.op()?;
+        Ok(op.voltage(nodes[idx]))
+    };
+    let v0 = probe(0.0)?;
+    let v1 = probe(test_current)?;
+    Ok(Extraction {
+        name: format!("rout_{pin}"),
+        value: (v0 - v1) / test_current,
+        unit: "ohm",
+    })
+}
+
+/// Extracts a symmetric output current limit by sweeping the load current
+/// until the output voltage collapses away from its unloaded value.
+///
+/// Returns the largest load current for which the output still tracks
+/// within `droop_limit` volts of a linear extrapolation.
+///
+/// # Errors
+///
+/// Simulation or extraction failures.
+pub fn output_current_limit(
+    dut: &dyn Dut,
+    pin: &str,
+    bias: &[(&str, Bias)],
+    i_max: f64,
+    droop_limit: f64,
+) -> Result<Extraction, CharacError> {
+    let rout = output_resistance(dut, pin, bias, i_max * 1e-3)?.value;
+    let probe = |current: f64| -> Result<f64, CharacError> {
+        let (mut ckt, nodes) = scaffold(dut, bias)?;
+        let idx = dut
+            .pin_index(pin)
+            .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{pin}'")))?;
+        ckt.add_isource("ILOAD", nodes[idx], Circuit::GROUND, SourceWave::dc(current));
+        let op = ckt.op()?;
+        Ok(op.voltage(nodes[idx]))
+    };
+    let v0 = probe(0.0)?;
+    // Log sweep from i_max/1000 to i_max.
+    let steps = 60;
+    let mut last_ok = 0.0;
+    for k in 0..=steps {
+        let i = i_max * 10f64.powf(-3.0 + 3.0 * k as f64 / steps as f64);
+        // Past the limit the output node may become practically floating —
+        // a convergence failure there *is* the limit signature.
+        let Ok(v) = probe(i) else { break };
+        let expected = v0 - rout * i;
+        if (v - expected).abs() > droop_limit {
+            break;
+        }
+        last_ok = i;
+    }
+    if last_ok == 0.0 {
+        return Err(CharacError::ExtractionFailed(
+            "output never tracked the linear model".to_string(),
+        ));
+    }
+    Ok(Extraction {
+        name: format!("ilim_{pin}"),
+        value: last_ok,
+        unit: "A",
+    })
+}
+
+/// Extracts maximum rise and fall slew rates from a large-signal square-wave
+/// response.
+///
+/// # Errors
+///
+/// Simulation or extraction failures.
+pub fn slew_rates(
+    dut: &dyn Dut,
+    in_pin: &str,
+    out_pin: &str,
+    bias: &[(&str, Bias)],
+    v_low: f64,
+    v_high: f64,
+    period: f64,
+) -> Result<(Extraction, Extraction), CharacError> {
+    let (mut ckt, nodes) = scaffold(dut, bias)?;
+    let in_idx = dut
+        .pin_index(in_pin)
+        .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{in_pin}'")))?;
+    let out_idx = dut
+        .pin_index(out_pin)
+        .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{out_pin}'")))?;
+    ckt.add_vsource(
+        "VSQ",
+        nodes[in_idx],
+        Circuit::GROUND,
+        SourceWave::pulse(
+            v_low,
+            v_high,
+            period * 0.05,
+            period * 1e-4,
+            period * 1e-4,
+            period * 0.45,
+            period,
+        ),
+    );
+    let result = ckt.tran(&TranSpec::new(2.0 * period))?;
+    let w = result.voltage_waveform(nodes[out_idx])?;
+    let rise = measure::max_rise_rate(&w)?;
+    let fall = measure::max_fall_rate(&w)?;
+    Ok((
+        Extraction {
+            name: "slew_rise".to_string(),
+            value: rise,
+            unit: "V/s",
+        },
+        Extraction {
+            name: "slew_fall".to_string(),
+            value: fall,
+            unit: "V/s",
+        },
+    ))
+}
+
+/// Measures the DC transfer curve `out(in)` and extracts small-signal gain
+/// (max slope), input offset (input at the steepest point) and the output
+/// swing.
+///
+/// # Errors
+///
+/// Simulation or extraction failures.
+pub fn dc_transfer(
+    dut: &dyn Dut,
+    in_pin: &str,
+    out_pin: &str,
+    bias: &[(&str, Bias)],
+    from: f64,
+    to: f64,
+    step: f64,
+) -> Result<Vec<Extraction>, CharacError> {
+    let (mut ckt, nodes) = scaffold(dut, bias)?;
+    let in_idx = dut
+        .pin_index(in_pin)
+        .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{in_pin}'")))?;
+    let out_idx = dut
+        .pin_index(out_pin)
+        .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{out_pin}'")))?;
+    ckt.add_vsource("VSWEEP", nodes[in_idx], Circuit::GROUND, SourceWave::dc(from));
+    let sweep = ckt.dc_sweep("VSWEEP", from, to, step)?;
+    let vin = sweep.sweep_values().to_vec();
+    let vout = sweep.voltage_series(nodes[out_idx]);
+    if vin.len() < 3 {
+        return Err(CharacError::BadRig("sweep needs at least 3 points".into()));
+    }
+    let mut best_slope = 0.0f64;
+    let mut best_vin = vin[0];
+    for k in 0..vin.len() - 1 {
+        let slope = (vout[k + 1] - vout[k]) / (vin[k + 1] - vin[k]);
+        if slope.abs() > best_slope.abs() {
+            best_slope = slope;
+            best_vin = 0.5 * (vin[k] + vin[k + 1]);
+        }
+    }
+    let out_min = vout.iter().cloned().fold(f64::INFINITY, f64::min);
+    let out_max = vout.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Ok(vec![
+        Extraction {
+            name: "gain".to_string(),
+            value: best_slope,
+            unit: "V/V",
+        },
+        Extraction {
+            name: "offset".to_string(),
+            value: best_vin,
+            unit: "V",
+        },
+        Extraction {
+            name: "out_low".to_string(),
+            value: out_min,
+            unit: "V",
+        },
+        Extraction {
+            name: "out_high".to_string(),
+            value: out_max,
+            unit: "V",
+        },
+    ])
+}
+
+/// Measures the response time from a step on `trigger_pin` (crossing
+/// `trigger_level`) to the output crossing `output_level` — e.g. the
+/// strobe-to-decision delay of a triggered comparator.
+///
+/// `bias` must hold every other pin at its operating value; the trigger is
+/// driven from `v_idle` to `v_active` at one quarter of `window`.
+///
+/// # Errors
+///
+/// Simulation failures, or [`CharacError::ExtractionFailed`] when either
+/// crossing is absent.
+#[allow(clippy::too_many_arguments)]
+pub fn response_time(
+    dut: &dyn Dut,
+    trigger_pin: &str,
+    out_pin: &str,
+    bias: &[(&str, Bias)],
+    v_idle: f64,
+    v_active: f64,
+    output_level: f64,
+    window: f64,
+) -> Result<Extraction, CharacError> {
+    let (mut ckt, nodes) = scaffold(dut, bias)?;
+    let trig_idx = dut
+        .pin_index(trigger_pin)
+        .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{trigger_pin}'")))?;
+    let out_idx = dut
+        .pin_index(out_pin)
+        .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{out_pin}'")))?;
+    let t_edge = window / 4.0;
+    ckt.add_vsource(
+        "VTRIG",
+        nodes[trig_idx],
+        Circuit::GROUND,
+        SourceWave::pulse(v_idle, v_active, t_edge, window * 1e-4, window * 1e-4, window, 0.0),
+    );
+    let result = ckt.tran(&TranSpec::new(window))?;
+    let w_out = result.voltage_waveform(nodes[out_idx])?;
+    let edge = if output_level
+        >= w_out.value_at(t_edge).unwrap_or(0.0)
+    {
+        measure::Edge::Rising
+    } else {
+        measure::Edge::Falling
+    };
+    let t_cross = measure::first_crossing_after(&w_out, output_level, edge, t_edge)?
+        .ok_or_else(|| {
+            CharacError::ExtractionFailed(format!(
+                "output never crossed {output_level} after the trigger"
+            ))
+        })?;
+    Ok(Extraction {
+        name: format!("t_response_{out_pin}"),
+        value: t_cross - t_edge,
+        unit: "s",
+    })
+}
+
+/// One point of a frequency response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponsePoint {
+    /// Stimulus frequency (Hz).
+    pub freq: f64,
+    /// Magnitude of out/in.
+    pub gain: f64,
+    /// Phase of out/in in degrees.
+    pub phase_deg: f64,
+}
+
+/// Measures the small-signal frequency response `out/in` by running one
+/// transient sine per frequency and correlating the settled cycles — the
+/// "many analogue simulation runs" style of the paper's characterization
+/// tool, and the only method that works for arbitrary behavioural DUTs
+/// (whose AC linearization the simulator does not know).
+///
+/// `amplitude` is the drive amplitude; `settle_periods` cycles are
+/// discarded before the correlation window (at least 2 recommended).
+///
+/// # Errors
+///
+/// Simulation or extraction failures.
+pub fn frequency_response(
+    dut: &dyn Dut,
+    in_pin: &str,
+    out_pin: &str,
+    bias: &[(&str, Bias)],
+    freqs: &[f64],
+    amplitude: f64,
+    settle_periods: usize,
+) -> Result<Vec<ResponsePoint>, CharacError> {
+    let mut out = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        if f <= 0.0 {
+            return Err(CharacError::BadRig(format!("non-positive frequency {f}")));
+        }
+        let (mut ckt, nodes) = scaffold(dut, bias)?;
+        let in_idx = dut
+            .pin_index(in_pin)
+            .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{in_pin}'")))?;
+        let out_idx = dut
+            .pin_index(out_pin)
+            .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{out_pin}'")))?;
+        ckt.add_vsource(
+            "VAC",
+            nodes[in_idx],
+            Circuit::GROUND,
+            SourceWave::sine(0.0, amplitude, f),
+        );
+        let periods = settle_periods.max(1) + 3;
+        let tstop = periods as f64 / f;
+        let spec = TranSpec {
+            dt_max: Some(1.0 / (f * 40.0)),
+            ..TranSpec::new(tstop)
+        };
+        let result = ckt.tran(&spec)?;
+        let w_in = result.voltage_waveform(nodes[in_idx])?;
+        let w_out = result.voltage_waveform(nodes[out_idx])?;
+        let t_settle = settle_periods.max(1) as f64 / f;
+        let x_in = gabm_numeric::measure::fourier_component(&w_in, f, t_settle)?;
+        let x_out = gabm_numeric::measure::fourier_component(&w_out, f, t_settle)?;
+        if x_in.abs() == 0.0 {
+            return Err(CharacError::ExtractionFailed(format!(
+                "no input component at {f} Hz"
+            )));
+        }
+        let h = x_out / x_in;
+        out.push(ResponsePoint {
+            freq: f,
+            gain: h.abs(),
+            phase_deg: h.arg_deg(),
+        });
+    }
+    Ok(out)
+}
+
+/// Measures the quiescent supply currents and the whole-model current
+/// balance `Σ i_pin` (which must vanish by the Fig. 4 balance sheet).
+///
+/// Every pin listed in `bias` is driven by a voltage source, so each pin
+/// current is observable; un-biased pins are grounded.
+///
+/// # Errors
+///
+/// Simulation failures.
+pub fn supply_currents(
+    dut: &dyn Dut,
+    vdd_pin: &str,
+    vss_pin: &str,
+    bias: &[(&str, Bias)],
+) -> Result<Vec<Extraction>, CharacError> {
+    // Bias every pin with a source so all pin currents are measurable.
+    let pins = dut.pin_names();
+    let mut full_bias: Vec<(String, Bias)> = Vec::new();
+    for p in &pins {
+        let given = bias.iter().find(|(name, _)| name == p);
+        match given {
+            Some((_, b)) => full_bias.push((p.clone(), *b)),
+            None => full_bias.push((p.clone(), Bias::Ground)),
+        }
+    }
+    let bias_refs: Vec<(&str, Bias)> = full_bias
+        .iter()
+        .map(|(n, b)| (n.as_str(), *b))
+        .collect();
+    let (mut ckt, _nodes) = scaffold(dut, &bias_refs)?;
+    let op = ckt.op()?;
+    let mut out = Vec::new();
+    let mut total = 0.0;
+    for p in &pins {
+        // Source current: positive into the source's + terminal = out of
+        // the DUT pin; pin current into the DUT = −i_source... The bias
+        // source is wired (pin → ground), so its branch current is the
+        // current flowing from the pin into the source, i.e. *out of* the
+        // DUT. Current into the DUT at this pin is the negative.
+        let i_src = op.current_through(&ckt, &format!("VB_{p}"))?;
+        let into_dut = -i_src;
+        total += into_dut;
+        if p == vdd_pin {
+            out.push(Extraction {
+                name: "i_vdd".to_string(),
+                value: into_dut,
+                unit: "A",
+            });
+        } else if p == vss_pin {
+            out.push(Extraction {
+                name: "i_vss".to_string(),
+                value: into_dut,
+                unit: "A",
+            });
+        }
+    }
+    out.push(Extraction {
+        name: "i_balance".to_string(),
+        value: total,
+        unit: "A",
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnDut;
+
+    /// Reference DUT: explicit R_in ∥ C_in network (what the behavioural
+    /// input stage models).
+    fn rc_dut(rin: f64, cin: f64) -> impl Dut {
+        FnDut::new(&["in"], move |ckt, name, nodes| {
+            ckt.add_resistor(&format!("{name}_R"), nodes[0], Circuit::GROUND, rin)?;
+            ckt.add_capacitor(&format!("{name}_C"), nodes[0], Circuit::GROUND, cin);
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn extracts_input_resistance() {
+        let dut = rc_dut(1.0e6, 5.0e-12);
+        let x = input_resistance(&dut, "in", &[]).unwrap();
+        assert!((x.value - 1.0e6).abs() / 1.0e6 < 1e-3, "rin = {}", x.value);
+    }
+
+    #[test]
+    fn extracts_input_capacitance() {
+        let dut = rc_dut(1.0e6, 5.0e-12);
+        let x = input_capacitance(&dut, "in", &[], 5.0e-12).unwrap();
+        assert!(
+            (x.value - 5.0e-12).abs() / 5.0e-12 < 0.1,
+            "cin = {:.3e}",
+            x.value
+        );
+    }
+
+    #[test]
+    fn extracts_output_resistance() {
+        // A Thévenin source: 2 V behind 50 Ω.
+        let dut = FnDut::new(&["out"], |ckt, name, nodes| {
+            let inner = ckt.node(&format!("{name}_src"));
+            ckt.add_vsource(
+                &format!("{name}_V"),
+                inner,
+                Circuit::GROUND,
+                SourceWave::dc(2.0),
+            );
+            ckt.add_resistor(&format!("{name}_R"), inner, nodes[0], 50.0)
+        });
+        let x = output_resistance(&dut, "out", &[], 1.0e-3).unwrap();
+        assert!((x.value - 50.0).abs() < 0.1, "rout = {}", x.value);
+    }
+
+    #[test]
+    fn dc_transfer_of_divider() {
+        let dut = FnDut::new(&["a", "b"], |ckt, name, nodes| {
+            let mid = nodes[1];
+            ckt.add_resistor(&format!("{name}_R1"), nodes[0], mid, 1.0e3)?;
+            ckt.add_resistor(&format!("{name}_R2"), mid, Circuit::GROUND, 1.0e3)
+        });
+        let xs = dc_transfer(&dut, "a", "b", &[], -1.0, 1.0, 0.1).unwrap();
+        let gain = xs.iter().find(|x| x.name == "gain").unwrap();
+        assert!((gain.value - 0.5).abs() < 1e-6);
+        let hi = xs.iter().find(|x| x.name == "out_high").unwrap();
+        assert!((hi.value - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn supply_balance_of_passive_network() {
+        // A resistor from vdd to vss: i_vdd = -i_vss, balance = 0.
+        let dut = FnDut::new(&["vdd", "vss"], |ckt, name, nodes| {
+            ckt.add_resistor(&format!("{name}_R"), nodes[0], nodes[1], 1.0e3)
+        });
+        let xs = supply_currents(
+            &dut,
+            "vdd",
+            "vss",
+            &[("vdd", Bias::Voltage(2.5)), ("vss", Bias::Voltage(-2.5))],
+        )
+        .unwrap();
+        let ivdd = xs.iter().find(|x| x.name == "i_vdd").unwrap().value;
+        let ivss = xs.iter().find(|x| x.name == "i_vss").unwrap().value;
+        let bal = xs.iter().find(|x| x.name == "i_balance").unwrap().value;
+        assert!((ivdd - 5.0e-3).abs() < 1e-8, "i_vdd = {ivdd}");
+        assert!((ivss + 5.0e-3).abs() < 1e-8, "i_vss = {ivss}");
+        assert!(bal.abs() < 1e-9, "balance = {bal}");
+    }
+
+    #[test]
+    fn frequency_response_of_rc_divider() {
+        // 1 kΩ into 1 µF to ground, output across the capacitor:
+        // pole at 159 Hz.
+        let dut = FnDut::new(&["a", "b"], |ckt, name, nodes| {
+            ckt.add_resistor(&format!("{name}_R"), nodes[0], nodes[1], 1.0e3)?;
+            ckt.add_capacitor(&format!("{name}_C"), nodes[1], Circuit::GROUND, 1.0e-6);
+            Ok(())
+        });
+        let pts = frequency_response(
+            &dut,
+            "a",
+            "b",
+            &[],
+            &[10.0, 159.1549, 5.0e3],
+            1.0,
+            3,
+        )
+        .unwrap();
+        assert!((pts[0].gain - 1.0).abs() < 0.02, "LF gain {}", pts[0].gain);
+        assert!(
+            (pts[1].gain - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.03,
+            "corner gain {}",
+            pts[1].gain
+        );
+        assert!(pts[2].gain < 0.05, "HF gain {}", pts[2].gain);
+        assert!(
+            (pts[1].phase_deg + 45.0).abs() < 4.0,
+            "corner phase {}",
+            pts[1].phase_deg
+        );
+    }
+
+    #[test]
+    fn frequency_response_rejects_bad_freq() {
+        let dut = rc_dut(1e6, 1e-12);
+        assert!(frequency_response(&dut, "in", "in", &[], &[0.0], 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn unknown_pins_rejected() {
+        let dut = rc_dut(1e6, 1e-12);
+        assert!(input_resistance(&dut, "zz", &[]).is_err());
+        assert!(output_resistance(&dut, "zz", &[], 1e-3).is_err());
+        assert!(dc_transfer(&dut, "zz", "in", &[], 0.0, 1.0, 0.1).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Validity-range determination (§2.4: "This method can also be used to
+//! determine the range of validity of models").
+
+use crate::CharacError;
+
+/// Result of a validity scan over one stimulus axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidityRange {
+    /// Name of the swept stimulus (e.g. `"frequency"`).
+    pub axis: String,
+    /// Lowest stimulus value at which the model was still valid.
+    pub lo: f64,
+    /// Highest stimulus value at which the model was still valid.
+    pub hi: f64,
+    /// Number of probe evaluations performed.
+    pub evaluations: usize,
+}
+
+impl ValidityRange {
+    /// `true` if any valid interval was found.
+    pub fn is_valid_anywhere(&self) -> bool {
+        self.lo <= self.hi
+    }
+}
+
+/// Scans `probe` over a logarithmic grid from `lo` to `hi` and returns the
+/// contiguous valid range around the first valid point.
+///
+/// `probe(x)` returns the model's relative deviation from its expectation at
+/// stimulus `x`; a point is *valid* when the deviation is `<= tol`.
+///
+/// # Errors
+///
+/// * [`CharacError::BadRig`] for inconsistent bounds.
+/// * Propagates probe errors.
+pub fn scan_validity(
+    axis: &str,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    tol: f64,
+    mut probe: impl FnMut(f64) -> Result<f64, CharacError>,
+) -> Result<ValidityRange, CharacError> {
+    if !(lo > 0.0 && hi > lo && points >= 2) {
+        return Err(CharacError::BadRig(format!(
+            "scan needs 0 < lo < hi and >= 2 points (got {lo}, {hi}, {points})"
+        )));
+    }
+    let grid: Vec<f64> = (0..points)
+        .map(|k| lo * (hi / lo).powf(k as f64 / (points - 1) as f64))
+        .collect();
+    let mut evaluations = 0usize;
+    let mut valid: Vec<bool> = Vec::with_capacity(points);
+    for &x in &grid {
+        let dev = probe(x)?;
+        evaluations += 1;
+        valid.push(dev <= tol);
+    }
+    // Find the longest contiguous valid run.
+    let mut best: Option<(usize, usize)> = None;
+    let mut start: Option<usize> = None;
+    for (k, v) in valid.iter().enumerate() {
+        match (*v, start) {
+            (true, None) => start = Some(k),
+            (false, Some(s)) => {
+                let len = k - s;
+                if best.map(|(bs, be)| be - bs).unwrap_or(0) < len {
+                    best = Some((s, k));
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        let len = points - s;
+        if best.map(|(bs, be)| be - bs).unwrap_or(0) < len {
+            best = Some((s, points));
+        }
+    }
+    match best {
+        Some((s, e)) => Ok(ValidityRange {
+            axis: axis.to_string(),
+            lo: grid[s],
+            hi: grid[e - 1],
+            evaluations,
+        }),
+        None => Ok(ValidityRange {
+            axis: axis.to_string(),
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+            evaluations,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_low_pass_validity() {
+        // A model valid below a 1 kHz corner: deviation grows with f/fc.
+        let r = scan_validity("frequency", 1.0, 1.0e6, 61, 0.1, |f| Ok(f / 1.0e4)).unwrap();
+        assert!(r.is_valid_anywhere());
+        assert_eq!(r.lo, 1.0);
+        // Valid up to deviation 0.1 → f = 1 kHz (within grid resolution).
+        assert!((r.hi / 1.0e3) < 1.3 && (r.hi / 1.0e3) > 0.7, "hi = {}", r.hi);
+        assert_eq!(r.evaluations, 61);
+    }
+
+    #[test]
+    fn nowhere_valid() {
+        let r = scan_validity("x", 1.0, 10.0, 5, 0.1, |_| Ok(1.0)).unwrap();
+        assert!(!r.is_valid_anywhere());
+    }
+
+    #[test]
+    fn everywhere_valid() {
+        let r = scan_validity("x", 1.0, 10.0, 5, 0.1, |_| Ok(0.0)).unwrap();
+        assert_eq!(r.lo, 1.0);
+        assert_eq!(r.hi, 10.0);
+    }
+
+    #[test]
+    fn band_validity() {
+        // Valid only in the middle of the range.
+        let r = scan_validity("x", 1.0, 100.0, 21, 0.1, |x| {
+            Ok(if (3.0..30.0).contains(&x) { 0.0 } else { 1.0 })
+        })
+        .unwrap();
+        assert!(r.lo > 2.9 && r.lo < 4.0, "lo = {}", r.lo);
+        assert!(r.hi > 20.0 && r.hi < 31.0, "hi = {}", r.hi);
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        assert!(scan_validity("x", 0.0, 1.0, 5, 0.1, |_| Ok(0.0)).is_err());
+        assert!(scan_validity("x", 2.0, 1.0, 5, 0.1, |_| Ok(0.0)).is_err());
+        assert!(scan_validity("x", 1.0, 2.0, 1, 0.1, |_| Ok(0.0)).is_err());
+    }
+
+    #[test]
+    fn probe_errors_propagate() {
+        let r = scan_validity("x", 1.0, 10.0, 3, 0.1, |_| {
+            Err(CharacError::ExtractionFailed("boom".into()))
+        });
+        assert!(r.is_err());
+    }
+}

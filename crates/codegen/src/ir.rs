@@ -1,0 +1,744 @@
+//! Backend-independent lowering of a functional diagram.
+//!
+//! The lowering performs the language-independent steps of §4.1: collect the
+//! code segments per GBS instance, introduce property values, extract the
+//! connection information (net → variable names), and order the segments by
+//! signal flow. The backends then only render syntax.
+
+use crate::CodegenError;
+use gabm_core::check::check_diagram;
+use gabm_core::diagram::{FunctionalDiagram, PortRef, SymbolId};
+use gabm_core::quantity::Dimension;
+use gabm_core::symbol::{
+    format_number, FuncKind, PortDirection, PropertyValue, Symbol, SymbolKind,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Kind of pin access of a probe or generator, mapped from the quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinQuantity {
+    /// Across quantity: voltage (electrical).
+    Volt,
+    /// Through quantity: current (electrical).
+    Curr,
+    /// Across quantity: angular velocity (rotational).
+    Omega,
+    /// Through quantity: torque (rotational).
+    Torque,
+    /// Across quantity: temperature (thermal).
+    Temp,
+    /// Through quantity: heat flow (thermal).
+    Heat,
+}
+
+impl PinQuantity {
+    fn from_dimension(dim: Dimension, symbol: usize) -> Result<Self, CodegenError> {
+        if dim == Dimension::VOLTAGE {
+            Ok(PinQuantity::Volt)
+        } else if dim == Dimension::CURRENT {
+            Ok(PinQuantity::Curr)
+        } else if dim == Dimension::ANGULAR_VELOCITY {
+            Ok(PinQuantity::Omega)
+        } else if dim == Dimension::TORQUE {
+            Ok(PinQuantity::Torque)
+        } else if dim == Dimension::TEMPERATURE {
+            Ok(PinQuantity::Temp)
+        } else if dim == Dimension::POWER {
+            Ok(PinQuantity::Heat)
+        } else {
+            Err(CodegenError::Unsupported(format!(
+                "symbol {symbol}: no pin access for quantity {dim}"
+            )))
+        }
+    }
+
+    /// The access prefix in FAS syntax (`volt.value(...)`, `curr.on(...)`).
+    pub fn fas_prefix(&self) -> &'static str {
+        match self {
+            PinQuantity::Volt => "volt",
+            PinQuantity::Curr => "curr",
+            PinQuantity::Omega => "omega",
+            PinQuantity::Torque => "torque",
+            PinQuantity::Temp => "temp",
+            PinQuantity::Heat => "heat",
+        }
+    }
+
+    /// `true` for across quantities (read with `.value`), `false` for
+    /// through quantities (imposed with `.on`).
+    pub fn is_across(&self) -> bool {
+        matches!(
+            self,
+            PinQuantity::Volt | PinQuantity::Omega | PinQuantity::Temp
+        )
+    }
+}
+
+/// Right-hand side of an assignment statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrRhs {
+    /// `a · input` (gain element).
+    Gain {
+        /// Gain property expression.
+        a: String,
+        /// Input variable/expression.
+        input: String,
+    },
+    /// Signed sum: `±t0 ±t1 …` (adder).
+    Sum {
+        /// `(positive?, term)` pairs.
+        terms: Vec<(bool, String)>,
+    },
+    /// Product/quotient chain (multiplier).
+    Prod {
+        /// `(multiply?, factor)` pairs; `false` divides.
+        factors: Vec<(bool, String)>,
+    },
+    /// `limit(input, lo, hi)` (limiter).
+    Limit {
+        /// Input expression.
+        input: String,
+        /// Lower bound expression.
+        lo: String,
+        /// Upper bound expression.
+        hi: String,
+    },
+    /// `max(input, 0)` — separator positive part.
+    PosPart {
+        /// Input expression.
+        input: String,
+    },
+    /// `min(input, 0)` — separator negative part.
+    NegPart {
+        /// Input expression.
+        input: String,
+    },
+    /// Function call (sin, cos, …).
+    Func {
+        /// The function.
+        func: FuncKind,
+        /// Argument expressions.
+        args: Vec<String>,
+    },
+    /// Plain copy.
+    Copy {
+        /// Input expression.
+        input: String,
+    },
+}
+
+/// One ordered code segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrStatement {
+    /// Read an across quantity from a pin: `make var = volt.value(pin)`.
+    Probe {
+        /// Symbol id.
+        id: usize,
+        /// Target variable.
+        var: String,
+        /// Pin name.
+        pin: String,
+        /// Quantity accessed.
+        quantity: PinQuantity,
+    },
+    /// Impose a through quantity on a pin: `make curr.on(pin) = expr`.
+    Impose {
+        /// Symbol id.
+        id: usize,
+        /// Pin name.
+        pin: String,
+        /// Quantity imposed.
+        quantity: PinQuantity,
+        /// Imposed expression.
+        expr: String,
+    },
+    /// Impose an across quantity via a stiff through source:
+    /// `curr.on(pin) = GBIG · (volt.value(pin) − target)`.
+    ImposeAcross {
+        /// Symbol id.
+        id: usize,
+        /// Pin name.
+        pin: String,
+        /// Target (across) expression.
+        target: String,
+    },
+    /// Time derivative with DC guard (the paper's generic segment).
+    Derivative {
+        /// Symbol id.
+        id: usize,
+        /// Target variable (`yd{id}`).
+        var: String,
+        /// Differentiated variable.
+        input: String,
+    },
+    /// Time integral.
+    Integral {
+        /// Symbol id.
+        id: usize,
+        /// Target variable (`yint{id}`).
+        var: String,
+        /// Integrated variable.
+        input: String,
+    },
+    /// Ordinary assignment.
+    Assign {
+        /// Symbol id.
+        id: usize,
+        /// Target variable.
+        var: String,
+        /// Right-hand side.
+        rhs: IrRhs,
+    },
+    /// One-simulation-step delay (`state.delay`).
+    UnitDelay {
+        /// Symbol id.
+        id: usize,
+        /// Target variable (`ylast{id}`).
+        var: String,
+        /// Delayed variable (may be defined later in the listing).
+        input: String,
+    },
+    /// Fixed time delay (`state.delayt`).
+    FixedDelay {
+        /// Symbol id.
+        id: usize,
+        /// Target variable.
+        var: String,
+        /// Delayed variable.
+        input: String,
+        /// Delay time expression.
+        td: String,
+    },
+    /// First-order lag `k/(1 + s·tau)` discretized with the one-step delay.
+    FirstOrderLag {
+        /// Symbol id.
+        id: usize,
+        /// Target variable.
+        var: String,
+        /// Input expression.
+        input: String,
+        /// DC gain expression.
+        k: String,
+        /// Time-constant expression.
+        tau: String,
+    },
+}
+
+impl IrStatement {
+    /// The variable this statement defines, if any (impositions define
+    /// none).
+    pub fn target_var(&self) -> Option<&str> {
+        match self {
+            IrStatement::Probe { var, .. }
+            | IrStatement::Derivative { var, .. }
+            | IrStatement::Integral { var, .. }
+            | IrStatement::Assign { var, .. }
+            | IrStatement::UnitDelay { var, .. }
+            | IrStatement::FixedDelay { var, .. }
+            | IrStatement::FirstOrderLag { var, .. } => Some(var),
+            IrStatement::Impose { .. } | IrStatement::ImposeAcross { .. } => None,
+        }
+    }
+
+    /// Id of the symbol this statement was generated from.
+    pub fn id(&self) -> usize {
+        match self {
+            IrStatement::Probe { id, .. }
+            | IrStatement::Impose { id, .. }
+            | IrStatement::ImposeAcross { id, .. }
+            | IrStatement::Derivative { id, .. }
+            | IrStatement::Integral { id, .. }
+            | IrStatement::Assign { id, .. }
+            | IrStatement::UnitDelay { id, .. }
+            | IrStatement::FixedDelay { id, .. }
+            | IrStatement::FirstOrderLag { id, .. } => *id,
+        }
+    }
+}
+
+/// A model parameter of the generated code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrParam {
+    /// Parameter name.
+    pub name: String,
+    /// Default value.
+    pub default: f64,
+    /// `true` when the parameter stands for an exposed-but-unconnected
+    /// diagram input (open interface port).
+    pub from_open_input: bool,
+}
+
+/// Lowered, ordered model ready for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeIr {
+    /// Model name.
+    pub model_name: String,
+    /// Pin names in diagram order.
+    pub pins: Vec<String>,
+    /// Parameters (declared + open inputs).
+    pub params: Vec<IrParam>,
+    /// Statements in signal-flow order.
+    pub statements: Vec<IrStatement>,
+}
+
+/// Variable name delivered by an output port of a symbol.
+fn output_var(sym: &Symbol, port_name: &str) -> String {
+    match &sym.kind {
+        SymbolKind::Probe { .. } => format!("v{}", sym.id),
+        SymbolKind::Parameter { param, .. } => param.clone(),
+        SymbolKind::SimVariable { var } => var.code_name().to_string(),
+        SymbolKind::Constant { value } => format_number(*value),
+        SymbolKind::Differentiator => format!("yd{}", sym.id),
+        SymbolKind::Integrator => format!("yint{}", sym.id),
+        SymbolKind::UnitDelay => format!("ylast{}", sym.id),
+        SymbolKind::Delay => format!("ydel{}", sym.id),
+        SymbolKind::Separator => match port_name {
+            "pos" => format!("ypos{}", sym.id),
+            _ => format!("yneg{}", sym.id),
+        },
+        _ => format!("yout{}", sym.id),
+    }
+}
+
+fn property_expr(sym: &Symbol, name: &str) -> Result<String, CodegenError> {
+    sym.property(name)
+        .map(PropertyValue::code_expr)
+        .ok_or_else(|| CodegenError::MissingProperty {
+            symbol: sym.id,
+            property: name.to_string(),
+        })
+}
+
+/// Lowers a diagram to ordered IR. Hierarchical symbols are flattened
+/// first (§3.1: "GBS can be hierarchical" — generation always operates on
+/// the flat expansion).
+pub(crate) fn lower(d: &FunctionalDiagram) -> Result<CodeIr, CodegenError> {
+    let flattened;
+    let d = if d
+        .symbols()
+        .any(|s| matches!(s.kind, SymbolKind::Hierarchical { .. }))
+    {
+        flattened = gabm_core::hierarchy::flatten(d)?;
+        &flattened
+    } else {
+        d
+    };
+    let report = check_diagram(d);
+    if !report.is_consistent() {
+        return Err(CodegenError::Inconsistent(report));
+    }
+
+    // --- connection information -----------------------------------------
+    // Expression delivered on each net (from its driving output port).
+    let mut net_expr: HashMap<usize, String> = HashMap::new();
+    // Pin name on each net (for probe/generator resolution).
+    let mut net_pin: HashMap<usize, String> = HashMap::new();
+    for net in d.nets() {
+        for p in &net.ports {
+            let sym = d.symbol(p.symbol)?;
+            let ports = sym.ports();
+            let spec = &ports[p.port];
+            match spec.direction {
+                PortDirection::Output => {
+                    net_expr.insert(net.id.0, output_var(sym, &spec.name));
+                }
+                PortDirection::Bidir => {
+                    if let SymbolKind::Pin { name } = &sym.kind {
+                        net_pin.insert(net.id.0, name.clone());
+                    }
+                }
+                PortDirection::Input => {}
+            }
+        }
+    }
+    // Open interface inputs become parameters referenced by name.
+    let mut open_inputs: Vec<String> = Vec::new();
+    let mut open_input_expr: HashMap<PortRef, String> = HashMap::new();
+    for itf in d.interface() {
+        if itf.direction == PortDirection::Input && d.net_of(itf.inner).is_none() {
+            open_inputs.push(itf.name.clone());
+            open_input_expr.insert(itf.inner, itf.name.clone());
+        }
+    }
+
+    // Expression consumed by an input port.
+    let input_expr = |sym: &Symbol, port_name: &str| -> Result<String, CodegenError> {
+        let idx = sym.port_index(port_name).ok_or(CodegenError::Core(
+            gabm_core::CoreError::NotFound(format!("port {port_name}")),
+        ))?;
+        let pr = PortRef {
+            symbol: SymbolId(sym.id),
+            port: idx,
+        };
+        if let Some(net) = d.net_of(pr) {
+            net_expr
+                .get(&net.id.0)
+                .cloned()
+                .ok_or_else(|| {
+                    CodegenError::Unsupported(format!(
+                        "net {} has no driving expression",
+                        net.id.0
+                    ))
+                })
+        } else if let Some(name) = open_input_expr.get(&pr) {
+            Ok(name.clone())
+        } else {
+            Err(CodegenError::Unsupported(format!(
+                "input '{port_name}' of symbol {} is unconnected",
+                sym.id
+            )))
+        }
+    };
+
+    // Pin of a probe/generator symbol.
+    let pin_of = |sym: &Symbol| -> Result<String, CodegenError> {
+        let idx = sym.port_index("pin").expect("probe/generator has pin port");
+        let pr = PortRef {
+            symbol: SymbolId(sym.id),
+            port: idx,
+        };
+        d.net_of(pr)
+            .and_then(|net| net_pin.get(&net.id.0).cloned())
+            .ok_or_else(|| {
+                CodegenError::Unsupported(format!(
+                    "symbol {} is not attached to a pin symbol",
+                    sym.id
+                ))
+            })
+    };
+
+    // --- code segments per symbol ----------------------------------------
+    let mut segments: BTreeMap<usize, Vec<IrStatement>> = BTreeMap::new();
+    for sym in d.symbols() {
+        let stmts: Vec<IrStatement> = match &sym.kind {
+            SymbolKind::Pin { .. }
+            | SymbolKind::Parameter { .. }
+            | SymbolKind::SimVariable { .. }
+            | SymbolKind::Constant { .. } => Vec::new(),
+            SymbolKind::Probe { quantity } => {
+                let q = PinQuantity::from_dimension(*quantity, sym.id)?;
+                if !q.is_across() {
+                    return Err(CodegenError::Unsupported(format!(
+                        "symbol {}: probes of through quantities are not observable from a behavioural model",
+                        sym.id
+                    )));
+                }
+                vec![IrStatement::Probe {
+                    id: sym.id,
+                    var: output_var(sym, "out"),
+                    pin: pin_of(sym)?,
+                    quantity: q,
+                }]
+            }
+            SymbolKind::Generator { quantity } => {
+                let q = PinQuantity::from_dimension(*quantity, sym.id)?;
+                let expr = input_expr(sym, "in")?;
+                if q.is_across() {
+                    vec![IrStatement::ImposeAcross {
+                        id: sym.id,
+                        pin: pin_of(sym)?,
+                        target: expr,
+                    }]
+                } else {
+                    vec![IrStatement::Impose {
+                        id: sym.id,
+                        pin: pin_of(sym)?,
+                        quantity: q,
+                        expr,
+                    }]
+                }
+            }
+            SymbolKind::Gain => vec![IrStatement::Assign {
+                id: sym.id,
+                var: output_var(sym, "out"),
+                rhs: IrRhs::Gain {
+                    a: property_expr(sym, "a")?,
+                    input: input_expr(sym, "in")?,
+                },
+            }],
+            SymbolKind::Limiter => vec![IrStatement::Assign {
+                id: sym.id,
+                var: output_var(sym, "out"),
+                rhs: IrRhs::Limit {
+                    input: input_expr(sym, "in")?,
+                    lo: property_expr(sym, "min")?,
+                    hi: property_expr(sym, "max")?,
+                },
+            }],
+            SymbolKind::Differentiator => vec![IrStatement::Derivative {
+                id: sym.id,
+                var: output_var(sym, "out"),
+                input: input_expr(sym, "in")?,
+            }],
+            SymbolKind::Integrator => vec![IrStatement::Integral {
+                id: sym.id,
+                var: output_var(sym, "out"),
+                input: input_expr(sym, "in")?,
+            }],
+            SymbolKind::Delay => vec![IrStatement::FixedDelay {
+                id: sym.id,
+                var: output_var(sym, "out"),
+                input: input_expr(sym, "in")?,
+                td: property_expr(sym, "td")?,
+            }],
+            SymbolKind::UnitDelay => vec![IrStatement::UnitDelay {
+                id: sym.id,
+                var: output_var(sym, "out"),
+                input: input_expr(sym, "in")?,
+            }],
+            SymbolKind::TransferFunction { num, den } => {
+                if num.len() == 1 && den.len() == 2 {
+                    let k = format_number(num[0] / den[0]);
+                    let tau = format_number(den[1] / den[0]);
+                    vec![IrStatement::FirstOrderLag {
+                        id: sym.id,
+                        var: output_var(sym, "out"),
+                        input: input_expr(sym, "in")?,
+                        k,
+                        tau,
+                    }]
+                } else {
+                    return Err(CodegenError::Unsupported(format!(
+                        "symbol {}: only first-order transfer functions are generated",
+                        sym.id
+                    )));
+                }
+            }
+            SymbolKind::Adder { signs } => {
+                let mut terms = Vec::with_capacity(signs.len());
+                for (k, sign) in signs.iter().enumerate() {
+                    terms.push((*sign, input_expr(sym, &format!("in{k}"))?));
+                }
+                vec![IrStatement::Assign {
+                    id: sym.id,
+                    var: output_var(sym, "out"),
+                    rhs: IrRhs::Sum { terms },
+                }]
+            }
+            SymbolKind::Multiplier { ops } => {
+                let mut factors = Vec::with_capacity(ops.len());
+                for (k, op) in ops.iter().enumerate() {
+                    factors.push((*op, input_expr(sym, &format!("in{k}"))?));
+                }
+                vec![IrStatement::Assign {
+                    id: sym.id,
+                    var: output_var(sym, "out"),
+                    rhs: IrRhs::Prod { factors },
+                }]
+            }
+            SymbolKind::Separator => {
+                let input = input_expr(sym, "in")?;
+                vec![
+                    IrStatement::Assign {
+                        id: sym.id,
+                        var: output_var(sym, "pos"),
+                        rhs: IrRhs::PosPart {
+                            input: input.clone(),
+                        },
+                    },
+                    IrStatement::Assign {
+                        id: sym.id,
+                        var: output_var(sym, "neg"),
+                        rhs: IrRhs::NegPart { input },
+                    },
+                ]
+            }
+            SymbolKind::Function { func } => {
+                let mut args = Vec::with_capacity(func.arity());
+                for k in 0..func.arity() {
+                    args.push(input_expr(sym, &format!("in{k}"))?);
+                }
+                vec![IrStatement::Assign {
+                    id: sym.id,
+                    var: output_var(sym, "out"),
+                    rhs: IrRhs::Func { func: *func, args },
+                }]
+            }
+            SymbolKind::Hierarchical { name, .. } => {
+                return Err(CodegenError::Unsupported(format!(
+                    "hierarchical symbol '{name}' must be flattened before code generation"
+                )));
+            }
+        };
+        if !stmts.is_empty() {
+            segments.insert(sym.id, stmts);
+        }
+    }
+
+    // --- ordering by signal flow (§4.1) ----------------------------------
+    let order = topological_order(d, &segments)?;
+    let mut statements = Vec::new();
+    for id in order {
+        if let Some(stmts) = segments.get(&id) {
+            statements.extend(stmts.iter().cloned());
+        }
+    }
+
+    // --- parameters -------------------------------------------------------
+    let mut params: Vec<IrParam> = d
+        .parameters()
+        .iter()
+        .map(|p| IrParam {
+            name: p.name.clone(),
+            default: p.default,
+            from_open_input: false,
+        })
+        .collect();
+    for name in open_inputs {
+        if !params.iter().any(|p| p.name == name) {
+            params.push(IrParam {
+                name,
+                default: 0.0,
+                from_open_input: true,
+            });
+        }
+    }
+
+    Ok(CodeIr {
+        model_name: d.name().to_string(),
+        pins: d.pins().into_iter().map(|(_, n)| n).collect(),
+        params,
+        statements,
+    })
+}
+
+/// Kahn's algorithm over the signal-flow graph, smallest symbol id first so
+/// the emission order is deterministic and mirrors the paper's listing.
+fn topological_order(
+    d: &FunctionalDiagram,
+    segments: &BTreeMap<usize, Vec<IrStatement>>,
+) -> Result<Vec<usize>, CodegenError> {
+    let mut indegree: BTreeMap<usize, usize> = segments.keys().map(|&k| (k, 0)).collect();
+    let mut out_edges: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for net in d.nets() {
+        let mut driver: Option<usize> = None;
+        let mut consumers: Vec<usize> = Vec::new();
+        for p in &net.ports {
+            let sym = d.symbol(p.symbol)?;
+            match sym.ports()[p.port].direction {
+                PortDirection::Output => driver = Some(sym.id),
+                PortDirection::Input => {
+                    // Pure delays read committed state only — no ordering
+                    // dependency on their input.
+                    if !matches!(sym.kind, SymbolKind::UnitDelay | SymbolKind::Delay) {
+                        consumers.push(sym.id);
+                    }
+                }
+                PortDirection::Bidir => {}
+            }
+        }
+        if let Some(drv) = driver {
+            // Only edges between statement-emitting symbols matter; sources
+            // without statements (params, constants) impose no order.
+            if segments.contains_key(&drv) {
+                for c in consumers {
+                    if segments.contains_key(&c) {
+                        out_edges.entry(drv).or_default().push(c);
+                        *indegree.entry(c).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut ready: Vec<usize> = indegree
+        .iter()
+        .filter(|(_, deg)| **deg == 0)
+        .map(|(id, _)| *id)
+        .collect();
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(indegree.len());
+    while let Some(&next) = ready.first() {
+        ready.remove(0);
+        order.push(next);
+        if let Some(targets) = out_edges.get(&next) {
+            for &t in targets {
+                let deg = indegree.get_mut(&t).expect("edge target tracked");
+                *deg -= 1;
+                if *deg == 0 {
+                    let pos = ready.partition_point(|&x| x < t);
+                    ready.insert(pos, t);
+                }
+            }
+        }
+    }
+    if order.len() != indegree.len() {
+        return Err(CodegenError::Unsupported(
+            "signal-flow cycle not broken by a delay element".to_string(),
+        ));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gabm_core::constructs::{InputStageSpec, SlewRateSpec};
+
+    #[test]
+    fn input_stage_lowering_matches_paper_order() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let ir = lower(&d).unwrap();
+        assert_eq!(ir.pins, vec!["in".to_string()]);
+        assert_eq!(ir.params.len(), 2);
+        // Statement ids in paper order: probe(2), ddt(4), gain(5), gain(6),
+        // adder(7), generator(3).
+        let ids: Vec<usize> = ir.statements.iter().map(IrStatement::id).collect();
+        assert_eq!(ids, vec![2, 4, 5, 6, 7, 3]);
+    }
+
+    #[test]
+    fn input_stage_variables() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let ir = lower(&d).unwrap();
+        match &ir.statements[0] {
+            IrStatement::Probe { var, pin, .. } => {
+                assert_eq!(var, "v2");
+                assert_eq!(pin, "in");
+            }
+            other => panic!("expected probe, got {other:?}"),
+        }
+        match &ir.statements[1] {
+            IrStatement::Derivative { var, input, .. } => {
+                assert_eq!(var, "yd4");
+                assert_eq!(input, "v2");
+            }
+            other => panic!("expected derivative, got {other:?}"),
+        }
+        match ir.statements.last().unwrap() {
+            IrStatement::Impose { pin, expr, .. } => {
+                assert_eq!(pin, "in");
+                assert_eq!(expr, "yout7");
+            }
+            other => panic!("expected impose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slew_rate_open_input_becomes_param() {
+        let d = SlewRateSpec::new(1e6, 1e6).diagram().unwrap();
+        let ir = lower(&d).unwrap();
+        assert!(ir
+            .params
+            .iter()
+            .any(|p| p.name == "u" && p.from_open_input));
+        // The unit delay is emitted without waiting for its input.
+        let first_ids: Vec<usize> = ir.statements.iter().map(IrStatement::id).collect();
+        assert_eq!(first_ids[0], 1, "unit delay should come first: {first_ids:?}");
+    }
+
+    #[test]
+    fn pin_quantity_mapping() {
+        assert_eq!(
+            PinQuantity::from_dimension(Dimension::VOLTAGE, 1).unwrap(),
+            PinQuantity::Volt
+        );
+        assert_eq!(
+            PinQuantity::from_dimension(Dimension::TORQUE, 1).unwrap(),
+            PinQuantity::Torque
+        );
+        assert!(PinQuantity::from_dimension(Dimension::CHARGE, 1).is_err());
+        assert!(PinQuantity::Volt.is_across());
+        assert!(!PinQuantity::Curr.is_across());
+        assert_eq!(PinQuantity::Omega.fas_prefix(), "omega");
+    }
+}

@@ -1,0 +1,149 @@
+//! MAST-style backend (after the paper's reference [6], the Analogy MAST
+//! analogue hardware description language).
+//!
+//! Like the VHDL-AMS backend this is a demonstration of HDL independence:
+//! the ordered segment list renders as a `template` with `val` declarations
+//! and an `equations` section.
+
+use crate::ir::{CodeIr, IrRhs, IrStatement};
+use crate::CodegenError;
+use gabm_core::symbol::format_number;
+
+fn render_rhs(rhs: &IrRhs) -> String {
+    match rhs {
+        IrRhs::Gain { a, input } => format!("{a} * {input}"),
+        IrRhs::Sum { terms } => {
+            let mut s = String::new();
+            for (k, (pos, term)) in terms.iter().enumerate() {
+                if k == 0 {
+                    if *pos {
+                        s.push_str(term);
+                    } else {
+                        s.push_str(&format!("-{term}"));
+                    }
+                } else if *pos {
+                    s.push_str(&format!(" + {term}"));
+                } else {
+                    s.push_str(&format!(" - {term}"));
+                }
+            }
+            s
+        }
+        IrRhs::Prod { factors } => {
+            let mut s = String::new();
+            for (k, (mul, factor)) in factors.iter().enumerate() {
+                if k == 0 {
+                    if *mul {
+                        s.push_str(factor);
+                    } else {
+                        s.push_str(&format!("1.0 / {factor}"));
+                    }
+                } else if *mul {
+                    s.push_str(&format!(" * {factor}"));
+                } else {
+                    s.push_str(&format!(" / {factor}"));
+                }
+            }
+            s
+        }
+        IrRhs::Limit { input, lo, hi } => format!("limit({input}, {lo}, {hi})"),
+        IrRhs::PosPart { input } => format!("max({input}, 0)"),
+        IrRhs::NegPart { input } => format!("min({input}, 0)"),
+        IrRhs::Func { func, args } => format!("{}({})", func.code_name(), args.join(", ")),
+        IrRhs::Copy { input } => input.clone(),
+    }
+}
+
+pub(crate) fn render(ir: &CodeIr) -> Result<String, CodegenError> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {} -- generated from a functional diagram by gabm-codegen\n",
+        ir.model_name
+    ));
+    let pins = ir.pins.join(" ");
+    let params = ir
+        .params
+        .iter()
+        .map(|p| format!("{}={}", p.name, format_number(p.default)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!("template {} {pins} = {params}\n", ir.model_name));
+    for pin in &ir.pins {
+        out.push_str(&format!("electrical {pin}\n"));
+    }
+    out.push_str("{\n");
+    for stmt in &ir.statements {
+        if let Some(var) = stmt.target_var() {
+            out.push_str(&format!("  val nu {var}\n"));
+        }
+    }
+    out.push_str("  values {\n");
+    for stmt in &ir.statements {
+        match stmt {
+            IrStatement::Probe { var, pin, .. } => {
+                out.push_str(&format!("    {var} = v({pin})\n"));
+            }
+            IrStatement::Derivative { var, input, .. } => {
+                out.push_str(&format!("    {var} = d_by_dt({input})\n"));
+            }
+            IrStatement::Integral { var, input, .. } => {
+                out.push_str(&format!("    {var} = integ({input})\n"));
+            }
+            IrStatement::Assign { var, rhs, .. } => {
+                out.push_str(&format!("    {var} = {}\n", render_rhs(rhs)));
+            }
+            IrStatement::UnitDelay { var, input, .. } => {
+                out.push_str(&format!("    {var} = delay({input}, timestep)\n"));
+            }
+            IrStatement::FixedDelay {
+                var, input, td, ..
+            } => {
+                out.push_str(&format!("    {var} = delay({input}, {td})\n"));
+            }
+            IrStatement::FirstOrderLag {
+                var,
+                input,
+                k,
+                tau,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "    {var} = lp1({k} * {input}, {tau})\n"
+                ));
+            }
+            IrStatement::Impose { .. } | IrStatement::ImposeAcross { .. } => {}
+        }
+    }
+    out.push_str("  }\n");
+    out.push_str("  equations {\n");
+    for stmt in &ir.statements {
+        match stmt {
+            IrStatement::Impose { pin, expr, .. } => {
+                out.push_str(&format!("    i({pin}->0) += {expr}\n"));
+            }
+            IrStatement::ImposeAcross { pin, target, .. } => {
+                out.push_str(&format!("    v({pin}) -= {target}\n"));
+            }
+            _ => {}
+        }
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{generate, Backend};
+    use gabm_core::constructs::InputStageSpec;
+
+    #[test]
+    fn template_structure() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let code = generate(&d, Backend::Mast).unwrap();
+        assert!(code.text.contains("template input_stage_in in ="));
+        assert!(code.text.contains("electrical in"));
+        assert!(code.text.contains("i(in->0) += yout7"));
+        assert!(code.text.contains("d_by_dt(v2)"));
+    }
+}

@@ -1,0 +1,190 @@
+//! VHDL-AMS-style backend.
+//!
+//! The paper (§5): "The generation of models in standard VHDL-A or similar
+//! language will be of great interest when a compiler and a simulator are
+//! available." This backend demonstrates that the same functional diagram
+//! and the same ordered segment list map onto a simultaneous-equation HDL:
+//! every `make` becomes a `==` simultaneous statement, probes become
+//! `across` quantities and generators `through` quantities.
+
+use crate::ir::{CodeIr, IrRhs, IrStatement};
+use crate::CodegenError;
+use gabm_core::symbol::format_number;
+
+fn render_rhs(rhs: &IrRhs) -> String {
+    match rhs {
+        IrRhs::Gain { a, input } => format!("{a} * {input}"),
+        IrRhs::Sum { terms } => {
+            let mut s = String::new();
+            for (k, (pos, term)) in terms.iter().enumerate() {
+                if k == 0 {
+                    if *pos {
+                        s.push_str(term);
+                    } else {
+                        s.push_str(&format!("-{term}"));
+                    }
+                } else if *pos {
+                    s.push_str(&format!(" + {term}"));
+                } else {
+                    s.push_str(&format!(" - {term}"));
+                }
+            }
+            s
+        }
+        IrRhs::Prod { factors } => {
+            let mut s = String::new();
+            for (k, (mul, factor)) in factors.iter().enumerate() {
+                if k == 0 {
+                    if *mul {
+                        s.push_str(factor);
+                    } else {
+                        s.push_str(&format!("1.0 / {factor}"));
+                    }
+                } else if *mul {
+                    s.push_str(&format!(" * {factor}"));
+                } else {
+                    s.push_str(&format!(" / {factor}"));
+                }
+            }
+            s
+        }
+        // VHDL-AMS has no limit builtin; compose from min/max (IEEE
+        // math_real: realmin/realmax).
+        IrRhs::Limit { input, lo, hi } => {
+            format!("realmin(realmax({input}, {lo}), {hi})")
+        }
+        IrRhs::PosPart { input } => format!("realmax({input}, 0.0)"),
+        IrRhs::NegPart { input } => format!("realmin({input}, 0.0)"),
+        IrRhs::Func { func, args } => format!("{}({})", func.code_name(), args.join(", ")),
+        IrRhs::Copy { input } => input.clone(),
+    }
+}
+
+pub(crate) fn render(ir: &CodeIr) -> Result<String, CodegenError> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "-- {} -- generated from a functional diagram by gabm-codegen\n",
+        ir.model_name
+    ));
+    out.push_str("library IEEE;\nuse IEEE.math_real.all;\nuse IEEE.electrical_systems.all;\n\n");
+    out.push_str(&format!("entity {} is\n", ir.model_name));
+    if !ir.params.is_empty() {
+        let generics = ir
+            .params
+            .iter()
+            .map(|p| format!("    {} : real := {}", p.name, format_number(p.default)))
+            .collect::<Vec<_>>()
+            .join(";\n");
+        out.push_str(&format!("  generic (\n{generics}\n  );\n"));
+    }
+    if !ir.pins.is_empty() {
+        let ports = ir
+            .pins
+            .iter()
+            .map(|p| format!("    terminal {p} : electrical"))
+            .collect::<Vec<_>>()
+            .join(";\n");
+        out.push_str(&format!("  port (\n{ports}\n  );\n"));
+    }
+    out.push_str(&format!("end entity {};\n\n", ir.model_name));
+    out.push_str(&format!(
+        "architecture behavioural of {} is\n",
+        ir.model_name
+    ));
+
+    // Quantity declarations: one across/through pair per pin, one free
+    // quantity per generated variable.
+    for pin in &ir.pins {
+        out.push_str(&format!(
+            "  quantity v_{pin} across i_{pin} through {pin} to electrical_ref;\n"
+        ));
+    }
+    for stmt in &ir.statements {
+        if let Some(var) = stmt.target_var() {
+            out.push_str(&format!("  quantity {var} : real;\n"));
+        }
+    }
+    out.push_str("begin\n");
+    for stmt in &ir.statements {
+        match stmt {
+            IrStatement::Probe { var, pin, .. } => {
+                out.push_str(&format!("  {var} == v_{pin};\n"));
+            }
+            IrStatement::Impose { pin, expr, .. } => {
+                out.push_str(&format!("  i_{pin} == {expr};\n"));
+            }
+            IrStatement::ImposeAcross { pin, target, .. } => {
+                out.push_str(&format!("  v_{pin} == {target};\n"));
+            }
+            IrStatement::Derivative { var, input, .. } => {
+                out.push_str(&format!("  {var} == {input}'dot;\n"));
+            }
+            IrStatement::Integral { var, input, .. } => {
+                out.push_str(&format!("  {var} == {input}'integ;\n"));
+            }
+            IrStatement::Assign { var, rhs, .. } => {
+                out.push_str(&format!("  {var} == {};\n", render_rhs(rhs)));
+            }
+            IrStatement::UnitDelay { var, input, .. } => {
+                // VHDL-AMS has no "one solver step" notion; the canonical
+                // mapping is a zero-time 'delayed, which yields the previous
+                // solution point under a variable-step solver.
+                out.push_str(&format!("  {var} == {input}'delayed(0.0);\n"));
+            }
+            IrStatement::FixedDelay {
+                var, input, td, ..
+            } => {
+                out.push_str(&format!("  {var} == {input}'delayed({td});\n"));
+            }
+            IrStatement::FirstOrderLag {
+                var,
+                input,
+                k,
+                tau,
+                ..
+            } => {
+                out.push_str(&format!("  {var} == {k} * {input}'ltf((0 => 1.0), (0 => 1.0, 1 => {tau}));\n"));
+            }
+        }
+    }
+    out.push_str("end architecture behavioural;\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{generate, Backend};
+    use gabm_core::constructs::{InputStageSpec, OutputStageSpec};
+
+    #[test]
+    fn entity_structure() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let code = generate(&d, Backend::VhdlAms).unwrap();
+        assert!(code.text.contains("entity input_stage_in is"));
+        assert!(code.text.contains("terminal in : electrical"));
+        assert!(code.text.contains("gin : real := 1e-6"));
+        assert!(code.text.contains("architecture behavioural"));
+    }
+
+    #[test]
+    fn same_diagram_different_language() {
+        // The core claim: one diagram, several HDLs. The FAS derivative is a
+        // guarded state.dt; the VHDL-AMS one is the 'dot attribute.
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let vhdl = generate(&d, Backend::VhdlAms).unwrap();
+        assert!(vhdl.text.contains("yd4 == v2'dot;"));
+        assert!(vhdl.text.contains("i_in == yout7;"));
+        let fas = generate(&d, Backend::Fas).unwrap();
+        assert!(fas.text.contains("state.dt(v2)"));
+    }
+
+    #[test]
+    fn limiter_uses_min_max() {
+        let d = OutputStageSpec::new("out", 1e-3)
+            .with_current_limit(1e-2)
+            .diagram()
+            .unwrap();
+        let code = generate(&d, Backend::VhdlAms).unwrap();
+        assert!(code.text.contains("realmin(realmax("));
+    }
+}

@@ -1,0 +1,420 @@
+//! Definition cards — the first view of a model (§2.1).
+//!
+//! "The requirements for a new model are first listed in a textual form:
+//! primary characteristics (transfer function, output impedance, etc.) and
+//! second order effects (polarization current, PSRR, etc.). According to
+//! this specification, an interface is defined in the form of a list of pins
+//! and parameters. A graphical symbol, the interface and the list of
+//! characteristics constitute the definition card."
+
+use crate::quantity::Dimension;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical domain of a pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PinDomain {
+    /// Electrical pin (voltage/current pair).
+    Electrical,
+    /// Rotational-mechanical pin (torque/angular-velocity pair) — §3.1a's
+    /// "motor axle".
+    RotationalMechanical,
+    /// Thermal pin (temperature/heat-flow pair).
+    Thermal,
+}
+
+/// A pin declaration on a definition card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PinDecl {
+    /// Pin name.
+    pub name: String,
+    /// Physical domain.
+    pub domain: PinDomain,
+    /// Free-text description.
+    pub description: String,
+}
+
+/// A parameter declaration on a definition card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDecl {
+    /// Parameter name (matches diagram property references).
+    pub name: String,
+    /// Default value in SI units.
+    pub default: f64,
+    /// Physical dimension.
+    pub dimension: Dimension,
+    /// Free-text description.
+    pub description: String,
+}
+
+/// Importance class of a modelled characteristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CharacteristicClass {
+    /// Primary characteristic (transfer function, output impedance, …).
+    Primary,
+    /// Second-order effect (polarization current, PSRR, …).
+    SecondOrder,
+}
+
+/// One modelled characteristic listed on the card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characteristic {
+    /// Name, e.g. `"input impedance"`.
+    pub name: String,
+    /// Primary vs second-order.
+    pub class: CharacteristicClass,
+    /// Free-text description of the required behaviour.
+    pub description: String,
+}
+
+/// The definition card: external view of a behavioural model.
+///
+/// # Example
+///
+/// ```
+/// use gabm_core::card::{DefinitionCard, PinDomain, CharacteristicClass};
+/// use gabm_core::quantity::Dimension;
+///
+/// # fn main() -> Result<(), gabm_core::CoreError> {
+/// let card = DefinitionCard::builder("input_stage")
+///     .describe("single-ended input stage")
+///     .pin("in", PinDomain::Electrical, "signal input")
+///     .parameter("gin", 1e-6, Dimension::CONDUCTANCE, "input conductance")
+///     .parameter("cin", 5e-12, Dimension::CAPACITANCE, "input capacitance")
+///     .characteristic("input impedance", CharacteristicClass::Primary, "Rin ∥ Cin")
+///     .build()?;
+/// assert_eq!(card.pins().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefinitionCard {
+    name: String,
+    description: String,
+    symbol_art: Option<String>,
+    pins: Vec<PinDecl>,
+    parameters: Vec<ParamDecl>,
+    characteristics: Vec<Characteristic>,
+}
+
+impl DefinitionCard {
+    /// Starts building a card for the named model.
+    pub fn builder(name: &str) -> DefinitionCardBuilder {
+        DefinitionCardBuilder {
+            card: DefinitionCard {
+                name: name.to_string(),
+                description: String::new(),
+                symbol_art: None,
+                pins: Vec::new(),
+                parameters: Vec::new(),
+                characteristics: Vec::new(),
+            },
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Free-text description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Declared pins.
+    pub fn pins(&self) -> &[PinDecl] {
+        &self.pins
+    }
+
+    /// Declared parameters.
+    pub fn parameters(&self) -> &[ParamDecl] {
+        &self.parameters
+    }
+
+    /// Modelled characteristics.
+    pub fn characteristics(&self) -> &[Characteristic] {
+        &self.characteristics
+    }
+
+    /// ASCII graphical symbol, if one was provided.
+    pub fn symbol_art(&self) -> Option<&str> {
+        self.symbol_art.as_deref()
+    }
+
+    /// Looks up a parameter by name.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] if absent.
+    pub fn parameter(&self, name: &str) -> Result<&ParamDecl, CoreError> {
+        self.parameters
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| CoreError::NotFound(format!("parameter {name}")))
+    }
+
+    /// Checks that a functional diagram matches this card: every card pin
+    /// appears as a diagram pin and every diagram parameter reference is
+    /// declared here.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadCard`] describing the first mismatch.
+    pub fn matches_diagram(
+        &self,
+        diagram: &crate::diagram::FunctionalDiagram,
+    ) -> Result<(), CoreError> {
+        let diagram_pins: Vec<String> =
+            diagram.pins().into_iter().map(|(_, name)| name).collect();
+        for pin in &self.pins {
+            if !diagram_pins.contains(&pin.name) {
+                return Err(CoreError::BadCard(format!(
+                    "card pin '{}' has no pin symbol in the diagram",
+                    pin.name
+                )));
+            }
+        }
+        for sym in diagram.symbols() {
+            for value in sym.properties.values() {
+                if let crate::symbol::PropertyValue::Param(p) = value {
+                    if self.parameter(p).is_err() {
+                        return Err(CoreError::BadCard(format!(
+                            "diagram references parameter '{p}' not declared on the card"
+                        )));
+                    }
+                }
+            }
+            if let crate::symbol::SymbolKind::Parameter { param, .. } = &sym.kind {
+                if self.parameter(param).is_err() {
+                    return Err(CoreError::BadCard(format!(
+                        "parameter symbol '{param}' not declared on the card"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DefinitionCard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "┌─ definition card: {} ─", self.name)?;
+        if !self.description.is_empty() {
+            writeln!(f, "│ {}", self.description)?;
+        }
+        if let Some(art) = &self.symbol_art {
+            for line in art.lines() {
+                writeln!(f, "│   {line}")?;
+            }
+        }
+        writeln!(f, "│ pins:")?;
+        for p in &self.pins {
+            writeln!(f, "│   {:<10} {:?}: {}", p.name, p.domain, p.description)?;
+        }
+        writeln!(f, "│ parameters:")?;
+        for p in &self.parameters {
+            writeln!(
+                f,
+                "│   {:<10} = {:<12e} [{}] {}",
+                p.name, p.default, p.dimension, p.description
+            )?;
+        }
+        writeln!(f, "│ characteristics:")?;
+        for c in &self.characteristics {
+            let class = match c.class {
+                CharacteristicClass::Primary => "primary",
+                CharacteristicClass::SecondOrder => "2nd-order",
+            };
+            writeln!(f, "│   [{class}] {}: {}", c.name, c.description)?;
+        }
+        write!(f, "└─")
+    }
+}
+
+/// Builder for [`DefinitionCard`].
+#[derive(Debug, Clone)]
+pub struct DefinitionCardBuilder {
+    card: DefinitionCard,
+}
+
+impl DefinitionCardBuilder {
+    /// Sets the free-text description.
+    pub fn describe(mut self, text: &str) -> Self {
+        self.card.description = text.to_string();
+        self
+    }
+
+    /// Attaches an ASCII graphical symbol.
+    pub fn symbol_art(mut self, art: &str) -> Self {
+        self.card.symbol_art = Some(art.to_string());
+        self
+    }
+
+    /// Declares a pin.
+    pub fn pin(mut self, name: &str, domain: PinDomain, description: &str) -> Self {
+        self.card.pins.push(PinDecl {
+            name: name.to_string(),
+            domain,
+            description: description.to_string(),
+        });
+        self
+    }
+
+    /// Declares a parameter.
+    pub fn parameter(
+        mut self,
+        name: &str,
+        default: f64,
+        dimension: Dimension,
+        description: &str,
+    ) -> Self {
+        self.card.parameters.push(ParamDecl {
+            name: name.to_string(),
+            default,
+            dimension,
+            description: description.to_string(),
+        });
+        self
+    }
+
+    /// Declares a modelled characteristic.
+    pub fn characteristic(
+        mut self,
+        name: &str,
+        class: CharacteristicClass,
+        description: &str,
+    ) -> Self {
+        self.card.characteristics.push(Characteristic {
+            name: name.to_string(),
+            class,
+            description: description.to_string(),
+        });
+        self
+    }
+
+    /// Finalizes the card.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadCard`] for duplicate pin or parameter names, or an
+    /// empty pin list.
+    pub fn build(self) -> Result<DefinitionCard, CoreError> {
+        let card = self.card;
+        if card.pins.is_empty() {
+            return Err(CoreError::BadCard("a model needs at least one pin".into()));
+        }
+        for (i, p) in card.pins.iter().enumerate() {
+            if card.pins[..i].iter().any(|q| q.name == p.name) {
+                return Err(CoreError::BadCard(format!("duplicate pin '{}'", p.name)));
+            }
+        }
+        for (i, p) in card.parameters.iter().enumerate() {
+            if card.parameters[..i].iter().any(|q| q.name == p.name) {
+                return Err(CoreError::BadCard(format!(
+                    "duplicate parameter '{}'",
+                    p.name
+                )));
+            }
+        }
+        Ok(card)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::FunctionalDiagram;
+    use crate::symbol::{PropertyValue, SymbolKind};
+
+    fn sample_card() -> DefinitionCard {
+        DefinitionCard::builder("amp")
+            .describe("test amplifier")
+            .pin("in", PinDomain::Electrical, "input")
+            .pin("out", PinDomain::Electrical, "output")
+            .parameter("gain", 100.0, Dimension::NONE, "voltage gain")
+            .characteristic("gain", CharacteristicClass::Primary, "A0 = 100")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let c = sample_card();
+        assert_eq!(c.name(), "amp");
+        assert_eq!(c.pins().len(), 2);
+        assert_eq!(c.parameters().len(), 1);
+        assert_eq!(c.characteristics().len(), 1);
+        assert_eq!(c.parameter("gain").unwrap().default, 100.0);
+        assert!(c.parameter("zz").is_err());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err = DefinitionCard::builder("x")
+            .pin("a", PinDomain::Electrical, "")
+            .pin("a", PinDomain::Electrical, "")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadCard(_)));
+        let err = DefinitionCard::builder("x")
+            .pin("a", PinDomain::Electrical, "")
+            .parameter("p", 1.0, Dimension::NONE, "")
+            .parameter("p", 2.0, Dimension::NONE, "")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadCard(_)));
+    }
+
+    #[test]
+    fn needs_a_pin() {
+        assert!(DefinitionCard::builder("x").build().is_err());
+    }
+
+    #[test]
+    fn display_renders_card() {
+        let c = sample_card();
+        let s = c.to_string();
+        assert!(s.contains("definition card: amp"));
+        assert!(s.contains("gain"));
+        assert!(s.contains("primary"));
+    }
+
+    #[test]
+    fn diagram_match() {
+        let c = sample_card();
+        let mut d = FunctionalDiagram::new("amp");
+        d.add_symbol(SymbolKind::Pin { name: "in".into() });
+        d.add_symbol(SymbolKind::Pin { name: "out".into() });
+        d.add_symbol_with(
+            SymbolKind::Gain,
+            &[("a", PropertyValue::Param("gain".into()))],
+            None,
+        );
+        assert!(c.matches_diagram(&d).is_ok());
+        // Missing pin.
+        let mut d2 = FunctionalDiagram::new("amp");
+        d2.add_symbol(SymbolKind::Pin { name: "in".into() });
+        assert!(c.matches_diagram(&d2).is_err());
+        // Undeclared parameter.
+        let mut d3 = FunctionalDiagram::new("amp");
+        d3.add_symbol(SymbolKind::Pin { name: "in".into() });
+        d3.add_symbol(SymbolKind::Pin { name: "out".into() });
+        d3.add_symbol_with(
+            SymbolKind::Gain,
+            &[("a", PropertyValue::Param("mystery".into()))],
+            None,
+        );
+        assert!(c.matches_diagram(&d3).is_err());
+    }
+
+    #[test]
+    fn mechanical_pins_supported() {
+        let c = DefinitionCard::builder("motor")
+            .pin("axle", PinDomain::RotationalMechanical, "output shaft")
+            .build()
+            .unwrap();
+        assert_eq!(c.pins()[0].domain, PinDomain::RotationalMechanical);
+    }
+}

@@ -1,0 +1,721 @@
+//! Diagram consistency checking (§3.2: "Once a diagram has been edited, a
+//! consistency test can be performed").
+//!
+//! Three families of rules are enforced:
+//!
+//! 1. **structure** — every consumed net is driven by exactly one output
+//!    port; no dangling inputs;
+//! 2. **quantities** — physical dimensions are propagated through the
+//!    symbols and conflicts are reported ("oil and water will not mix");
+//! 3. **causality** — algebraic loops (cycles not broken by a state element
+//!    such as the unit delay of the slew-rate construct) are rejected,
+//!    since the generated sequential code could not be ordered (§4.1).
+
+use crate::diagram::{FunctionalDiagram, NetId, PortRef, SymbolId};
+use crate::quantity::Dimension;
+use crate::symbol::{PortDirection, PropertyValue, SymbolKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The diagram cannot be code-generated.
+    Error,
+    /// Suspicious but tolerated.
+    Warning,
+}
+
+/// One finding of the consistency test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Offending symbol, when applicable.
+    pub symbol: Option<SymbolId>,
+    /// Offending net, when applicable.
+    pub net: Option<NetId>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// The outcome of [`check_diagram`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Inferred physical dimension of each net (where derivable).
+    pub net_dimensions: HashMap<NetId, Dimension>,
+}
+
+impl CheckReport {
+    /// Number of errors.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warnings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// `true` if no errors were found (warnings allowed).
+    pub fn is_consistent(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    fn error(&mut self, message: String, symbol: Option<SymbolId>, net: Option<NetId>) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Error,
+            message,
+            symbol,
+            net,
+        });
+    }
+
+    fn warn(&mut self, message: String, symbol: Option<SymbolId>, net: Option<NetId>) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Warning,
+            message,
+            symbol,
+            net,
+        });
+    }
+}
+
+/// Dimension of a property value: literals are dimensionless; parameter
+/// references inherit the declared parameter dimension.
+fn property_dimension(d: &FunctionalDiagram, value: Option<&PropertyValue>) -> Dimension {
+    match value {
+        Some(PropertyValue::Param(p)) => d
+            .parameters()
+            .iter()
+            .find(|decl| decl.name == *p)
+            .map(|decl| decl.dimension)
+            .unwrap_or(Dimension::NONE),
+        _ => Dimension::NONE,
+    }
+}
+
+/// Runs the full consistency test on a diagram.
+pub fn check_diagram(d: &FunctionalDiagram) -> CheckReport {
+    let mut report = CheckReport::default();
+    check_structure(d, &mut report);
+    infer_dimensions(d, &mut report);
+    check_algebraic_loops(d, &mut report);
+    report
+}
+
+fn check_structure(d: &FunctionalDiagram, report: &mut CheckReport) {
+    // Net driver rule.
+    for net in d.nets() {
+        let mut outputs = 0usize;
+        let mut inputs = 0usize;
+        for p in &net.ports {
+            if let Ok(sym) = d.symbol(p.symbol) {
+                match sym.ports()[p.port].direction {
+                    PortDirection::Output => outputs += 1,
+                    PortDirection::Input => inputs += 1,
+                    PortDirection::Bidir => {}
+                }
+            }
+        }
+        if outputs > 1 {
+            report.error(
+                format!("net {} driven by {} output ports", net.id.0, outputs),
+                None,
+                Some(net.id),
+            );
+        }
+        if inputs > 0 && outputs == 0 {
+            report.error(
+                format!(
+                    "net {} is consumed but bound to no output port (\"a net must be bound to one and only one output port\")",
+                    net.id.0
+                ),
+                None,
+                Some(net.id),
+            );
+        }
+    }
+    // Port connection rule. Ports exposed on the diagram interface are
+    // connected from the outside once the diagram is used hierarchically.
+    let exposed: Vec<PortRef> = d.interface().iter().map(|itf| itf.inner).collect();
+    for sym in d.symbols() {
+        let ports = sym.ports();
+        let mut any_connected = false;
+        for (idx, spec) in ports.iter().enumerate() {
+            let pr = PortRef {
+                symbol: SymbolId(sym.id),
+                port: idx,
+            };
+            let connected = d.net_of(pr).is_some() || exposed.contains(&pr);
+            any_connected |= connected;
+            if !connected && spec.direction == PortDirection::Input {
+                report.error(
+                    format!("input port '{}' of {sym} is unconnected", spec.name),
+                    Some(SymbolId(sym.id)),
+                    None,
+                );
+            }
+            if !connected && spec.direction == PortDirection::Output {
+                report.warn(
+                    format!("output port '{}' of {sym} is unconnected", spec.name),
+                    Some(SymbolId(sym.id)),
+                    None,
+                );
+            }
+        }
+        if !any_connected && !ports.is_empty() {
+            report.warn(format!("{sym} is not connected at all"), Some(SymbolId(sym.id)), None);
+        }
+        // Property presence.
+        if matches!(sym.kind, SymbolKind::Gain) && sym.property("a").is_none() {
+            report.error(
+                format!("{sym} is missing its gain property 'a'"),
+                Some(SymbolId(sym.id)),
+                None,
+            );
+        }
+        if matches!(sym.kind, SymbolKind::Limiter)
+            && (sym.property("min").is_none() || sym.property("max").is_none())
+        {
+            report.error(
+                format!("{sym} needs 'min' and 'max' properties"),
+                Some(SymbolId(sym.id)),
+                None,
+            );
+        }
+    }
+}
+
+/// Propagates dimensions over nets to a fixpoint, reporting conflicts.
+fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
+    let mut dims: HashMap<NetId, Dimension> = HashMap::new();
+    let mut conflicts: Vec<(NetId, Dimension, Dimension)> = Vec::new();
+
+    let assign = |dims: &mut HashMap<NetId, Dimension>,
+                      conflicts: &mut Vec<(NetId, Dimension, Dimension)>,
+                      net: NetId,
+                      dim: Dimension|
+     -> bool {
+        match dims.get(&net) {
+            Some(existing) if *existing != dim => {
+                if !conflicts.iter().any(|(n, _, _)| *n == net) {
+                    conflicts.push((net, *existing, dim));
+                }
+                false
+            }
+            Some(_) => false,
+            None => {
+                dims.insert(net, dim);
+                true
+            }
+        }
+    };
+
+    // Seed from fixed port dimensions.
+    for sym in d.symbols() {
+        for (idx, spec) in sym.ports().iter().enumerate() {
+            if let Some(dim) = spec.dimension {
+                let pr = PortRef {
+                    symbol: SymbolId(sym.id),
+                    port: idx,
+                };
+                if let Some(net) = d.net_of(pr) {
+                    assign(&mut dims, &mut conflicts, net.id, dim);
+                }
+            }
+        }
+    }
+
+    // Fixpoint propagation through symbol semantics.
+    let net_at = |sym: &crate::symbol::Symbol, name: &str| -> Option<NetId> {
+        sym.port_index(name).and_then(|idx| {
+            d.net_of(PortRef {
+                symbol: SymbolId(sym.id),
+                port: idx,
+            })
+            .map(|n| n.id)
+        })
+    };
+
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 64 {
+        changed = false;
+        rounds += 1;
+        for sym in d.symbols() {
+            match &sym.kind {
+                SymbolKind::Gain => {
+                    let prop_dim = property_dimension(d, sym.property("a"));
+                    if let (Some(i), Some(o)) = (net_at(sym, "in"), net_at(sym, "out")) {
+                        if let Some(di) = dims.get(&i).copied() {
+                            changed |= assign(&mut dims, &mut conflicts, o, di * prop_dim);
+                        } else if let Some(doo) = dims.get(&o).copied() {
+                            changed |= assign(&mut dims, &mut conflicts, i, doo / prop_dim);
+                        }
+                    }
+                }
+                SymbolKind::Limiter | SymbolKind::Delay | SymbolKind::UnitDelay
+                | SymbolKind::TransferFunction { .. } => {
+                    if let (Some(i), Some(o)) = (net_at(sym, "in"), net_at(sym, "out")) {
+                        if let Some(di) = dims.get(&i).copied() {
+                            changed |= assign(&mut dims, &mut conflicts, o, di);
+                        } else if let Some(doo) = dims.get(&o).copied() {
+                            changed |= assign(&mut dims, &mut conflicts, i, doo);
+                        }
+                    }
+                }
+                SymbolKind::Differentiator => {
+                    if let (Some(i), Some(o)) = (net_at(sym, "in"), net_at(sym, "out")) {
+                        if let Some(di) = dims.get(&i).copied() {
+                            changed |= assign(&mut dims, &mut conflicts, o, di.per_time());
+                        } else if let Some(doo) = dims.get(&o).copied() {
+                            changed |= assign(&mut dims, &mut conflicts, i, doo.times_time());
+                        }
+                    }
+                }
+                SymbolKind::Integrator => {
+                    if let (Some(i), Some(o)) = (net_at(sym, "in"), net_at(sym, "out")) {
+                        if let Some(di) = dims.get(&i).copied() {
+                            changed |= assign(&mut dims, &mut conflicts, o, di.times_time());
+                        } else if let Some(doo) = dims.get(&o).copied() {
+                            changed |= assign(&mut dims, &mut conflicts, i, doo.per_time());
+                        }
+                    }
+                }
+                SymbolKind::Adder { signs } => {
+                    let nets: Vec<Option<NetId>> = (0..signs.len())
+                        .map(|k| net_at(sym, &format!("in{k}")))
+                        .chain([net_at(sym, "out")])
+                        .collect();
+                    let known = nets
+                        .iter()
+                        .flatten()
+                        .find_map(|n| dims.get(n).copied());
+                    if let Some(dim) = known {
+                        for n in nets.iter().flatten() {
+                            changed |= assign(&mut dims, &mut conflicts, *n, dim);
+                        }
+                    }
+                }
+                SymbolKind::Multiplier { ops } => {
+                    let in_nets: Vec<Option<NetId>> = (0..ops.len())
+                        .map(|k| net_at(sym, &format!("in{k}")))
+                        .collect();
+                    let out_net = net_at(sym, "out");
+                    let in_dims: Vec<Option<Dimension>> = in_nets
+                        .iter()
+                        .map(|n| n.and_then(|n| dims.get(&n).copied()))
+                        .collect();
+                    if in_dims.iter().all(Option::is_some) {
+                        let mut acc = Dimension::NONE;
+                        for (dim, mul) in in_dims.iter().zip(ops) {
+                            let dim = dim.expect("checked above");
+                            acc = if *mul { acc * dim } else { acc / dim };
+                        }
+                        if let Some(o) = out_net {
+                            changed |= assign(&mut dims, &mut conflicts, o, acc);
+                        }
+                    }
+                }
+                SymbolKind::Separator => {
+                    if let Some(i) = net_at(sym, "in") {
+                        if let Some(di) = dims.get(&i).copied() {
+                            for name in ["pos", "neg"] {
+                                if let Some(o) = net_at(sym, name) {
+                                    changed |= assign(&mut dims, &mut conflicts, o, di);
+                                }
+                            }
+                        }
+                    }
+                }
+                SymbolKind::Function { func } => {
+                    // Function inputs must be dimensionless.
+                    for k in 0..func.arity() {
+                        if let Some(i) = net_at(sym, &format!("in{k}")) {
+                            if let Some(di) = dims.get(&i).copied() {
+                                if !di.is_none() {
+                                    if !conflicts.iter().any(|(n, _, _)| *n == i) {
+                                        conflicts.push((i, di, Dimension::NONE));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (net, a, b) in conflicts {
+        report.error(
+            format!(
+                "net {} mixes incompatible quantities: {a} vs {b} (oil and water will not mix)",
+                net.0
+            ),
+            None,
+            Some(net),
+        );
+    }
+    report.net_dimensions = dims;
+}
+
+/// Detects algebraic loops: cycles through combinational symbols only.
+fn check_algebraic_loops(d: &FunctionalDiagram, report: &mut CheckReport) {
+    let n = d.symbol_count();
+    // adjacency: driver symbol -> consumer symbol (combinational consumers
+    // only; state elements break the loop).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for net in d.nets() {
+        let mut driver: Option<usize> = None;
+        let mut consumers: Vec<usize> = Vec::new();
+        for p in &net.ports {
+            if let Ok(sym) = d.symbol(p.symbol) {
+                match sym.ports()[p.port].direction {
+                    PortDirection::Output => driver = Some(sym.id),
+                    PortDirection::Input => consumers.push(sym.id),
+                    PortDirection::Bidir => {}
+                }
+            }
+        }
+        if let Some(drv) = driver {
+            for c in consumers {
+                // Only pure delays break loops: the discretized integrator
+                // and transfer function still reference their *current*
+                // input, so a loop through them could not be ordered into
+                // single-pass sequential code (§4.1).
+                let stateful = matches!(
+                    d.symbol(SymbolId(c)).map(|s| &s.kind),
+                    Ok(SymbolKind::UnitDelay) | Ok(SymbolKind::Delay)
+                );
+                if !stateful {
+                    adj[drv].push(c);
+                }
+            }
+        }
+    }
+    // DFS three-colour cycle detection.
+    let mut colour = vec![0u8; n + 1];
+    fn dfs(v: usize, adj: &[Vec<usize>], colour: &mut [u8]) -> bool {
+        colour[v] = 1;
+        for &w in &adj[v] {
+            if colour[w] == 1 {
+                return true;
+            }
+            if colour[w] == 0 && dfs(w, adj, colour) {
+                return true;
+            }
+        }
+        colour[v] = 2;
+        false
+    }
+    for v in 1..=n {
+        if colour[v] == 0 && dfs(v, &adj, &mut colour) {
+            report.error(
+                "algebraic loop: a combinational cycle must be broken by a delay element"
+                    .to_string(),
+                Some(SymbolId(v)),
+                None,
+            );
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{FuncKind, PropertyValue};
+
+    fn probe_to_gain() -> FunctionalDiagram {
+        let mut d = FunctionalDiagram::new("t");
+        d.add_parameter("gin", 1e-6, Dimension::CONDUCTANCE);
+        let pin = d.add_symbol(SymbolKind::Pin { name: "in".into() });
+        let probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        });
+        let gain = d.add_symbol_with(
+            SymbolKind::Gain,
+            &[("a", PropertyValue::Param("gin".into()))],
+            None,
+        );
+        let gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        });
+        d.connect(d.port(pin, "pin").unwrap(), d.port(probe, "pin").unwrap())
+            .unwrap();
+        d.connect(d.port(pin, "pin").unwrap(), d.port(gen, "pin").unwrap())
+            .unwrap();
+        d.connect(d.port(probe, "out").unwrap(), d.port(gain, "in").unwrap())
+            .unwrap();
+        d.connect(d.port(gain, "out").unwrap(), d.port(gen, "in").unwrap())
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn clean_diagram_passes() {
+        let d = probe_to_gain();
+        let r = check_diagram(&d);
+        assert!(r.is_consistent(), "diagnostics: {:?}", r.diagnostics);
+        assert_eq!(r.error_count(), 0);
+    }
+
+    #[test]
+    fn dimension_inference_through_gain() {
+        let d = probe_to_gain();
+        let r = check_diagram(&d);
+        // Net from gain.out to generator.in must be CURRENT:
+        // VOLTAGE · CONDUCTANCE.
+        let gen_in = d
+            .net_of(d.port(crate::diagram::SymbolId(4), "in").unwrap())
+            .unwrap();
+        assert_eq!(r.net_dimensions.get(&gen_in.id), Some(&Dimension::CURRENT));
+    }
+
+    #[test]
+    fn oil_and_water_detected() {
+        // A voltage probe wired straight into a current generator: the gain
+        // is missing, so the voltage net meets a current port.
+        let mut d = FunctionalDiagram::new("bad");
+        let pin = d.add_symbol(SymbolKind::Pin { name: "in".into() });
+        let probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        });
+        let gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        });
+        d.connect(d.port(pin, "pin").unwrap(), d.port(probe, "pin").unwrap())
+            .unwrap();
+        d.connect(d.port(pin, "pin").unwrap(), d.port(gen, "pin").unwrap())
+            .unwrap();
+        d.connect(d.port(probe, "out").unwrap(), d.port(gen, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(!r.is_consistent());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|di| di.message.contains("oil and water")));
+    }
+
+    #[test]
+    fn undriven_input_detected() {
+        let mut d = FunctionalDiagram::new("u");
+        let g = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+        let f = d.add_symbol(SymbolKind::Function {
+            func: FuncKind::Sin,
+        });
+        // Connect the two inputs together with no driver at all.
+        d.connect(d.port(g, "in").unwrap(), d.port(f, "in0").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(!r.is_consistent());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|di| di.message.contains("no output port")));
+    }
+
+    #[test]
+    fn dangling_input_detected() {
+        let mut d = FunctionalDiagram::new("dangling");
+        d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(2.0))], None);
+        let r = check_diagram(&d);
+        assert!(!r.is_consistent());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|di| di.message.contains("unconnected")));
+    }
+
+    #[test]
+    fn missing_gain_property_detected() {
+        let mut d = FunctionalDiagram::new("m");
+        let g = d.add_symbol(SymbolKind::Gain);
+        let c = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+        d.connect(d.port(c, "out").unwrap(), d.port(g, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|di| di.message.contains("gain property")));
+    }
+
+    #[test]
+    fn algebraic_loop_detected() {
+        let mut d = FunctionalDiagram::new("loop");
+        let g1 = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+        let g2 = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+        d.connect(d.port(g1, "out").unwrap(), d.port(g2, "in").unwrap())
+            .unwrap();
+        d.connect(d.port(g2, "out").unwrap(), d.port(g1, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|di| di.message.contains("algebraic loop")));
+    }
+
+    #[test]
+    fn delay_breaks_loop() {
+        // The slew-rate pattern: y feeds back through a unit delay — legal.
+        let mut d = FunctionalDiagram::new("fb");
+        let add = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, true],
+        });
+        let dly = d.add_symbol(SymbolKind::UnitDelay);
+        let c = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+        d.connect(d.port(c, "out").unwrap(), d.port(add, "in0").unwrap())
+            .unwrap();
+        d.connect(d.port(add, "out").unwrap(), d.port(dly, "in").unwrap())
+            .unwrap();
+        d.connect(d.port(dly, "out").unwrap(), d.port(add, "in1").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(
+            !r.diagnostics
+                .iter()
+                .any(|di| di.message.contains("algebraic loop")),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn adder_unifies_dimensions() {
+        let mut d = FunctionalDiagram::new("a");
+        d.add_parameter("ra", 1.0, Dimension::RESISTANCE);
+        let p1 = d.add_symbol(SymbolKind::Parameter {
+            param: "x".into(),
+            dimension: Dimension::VOLTAGE,
+        });
+        let g = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(2.0))], None);
+        let add = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, false],
+        });
+        d.connect(d.port(p1, "out").unwrap(), d.port(add, "in0").unwrap())
+            .unwrap();
+        d.connect(d.port(g, "out").unwrap(), d.port(add, "in1").unwrap())
+            .unwrap();
+        // Gain input comes from the adder output (no loop: gain out → adder
+        // in1, adder out → nothing; drive gain.in from p1 too).
+        d.connect(d.port(p1, "out").unwrap(), d.port(g, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        // adder in1 (gain out of a dimensionless gain on voltage) = VOLTAGE;
+        // unified with in0 (VOLTAGE) and out.
+        let out_net = d.net_of(d.port(add, "in1").unwrap()).unwrap();
+        assert_eq!(
+            r.net_dimensions.get(&out_net.id),
+            Some(&Dimension::VOLTAGE)
+        );
+    }
+
+    #[test]
+    fn multiplier_combines_dimensions() {
+        let mut d = FunctionalDiagram::new("m");
+        let v = d.add_symbol(SymbolKind::Parameter {
+            param: "v".into(),
+            dimension: Dimension::VOLTAGE,
+        });
+        let i = d.add_symbol(SymbolKind::Parameter {
+            param: "i".into(),
+            dimension: Dimension::CURRENT,
+        });
+        let mul = d.add_symbol(SymbolKind::Multiplier {
+            ops: vec![true, true],
+        });
+        let lim = d.add_symbol_with(
+            SymbolKind::Limiter,
+            &[
+                ("min", PropertyValue::Number(0.0)),
+                ("max", PropertyValue::Number(1.0)),
+            ],
+            None,
+        );
+        d.connect(d.port(v, "out").unwrap(), d.port(mul, "in0").unwrap())
+            .unwrap();
+        d.connect(d.port(i, "out").unwrap(), d.port(mul, "in1").unwrap())
+            .unwrap();
+        d.connect(d.port(mul, "out").unwrap(), d.port(lim, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        let out_net = d.net_of(d.port(lim, "in").unwrap()).unwrap();
+        assert_eq!(r.net_dimensions.get(&out_net.id), Some(&Dimension::POWER));
+        // And the limiter propagates it onward — but its out is dangling, so
+        // just confirm no dimension errors occurred.
+        assert!(!r
+            .diagnostics
+            .iter()
+            .any(|di| di.message.contains("oil and water")));
+    }
+
+    #[test]
+    fn function_requires_dimensionless_input() {
+        let mut d = FunctionalDiagram::new("f");
+        let v = d.add_symbol(SymbolKind::Parameter {
+            param: "v".into(),
+            dimension: Dimension::VOLTAGE,
+        });
+        let f = d.add_symbol(SymbolKind::Function {
+            func: FuncKind::Sin,
+        });
+        d.connect(d.port(v, "out").unwrap(), d.port(f, "in0").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|di| di.message.contains("oil and water")));
+    }
+
+    #[test]
+    fn differentiator_shifts_dimension() {
+        let mut d = FunctionalDiagram::new("dd");
+        let v = d.add_symbol(SymbolKind::Parameter {
+            param: "v".into(),
+            dimension: Dimension::VOLTAGE,
+        });
+        let dt = d.add_symbol(SymbolKind::Differentiator);
+        let lim = d.add_symbol_with(
+            SymbolKind::Limiter,
+            &[
+                ("min", PropertyValue::Number(-1.0)),
+                ("max", PropertyValue::Number(1.0)),
+            ],
+            None,
+        );
+        d.connect(d.port(v, "out").unwrap(), d.port(dt, "in").unwrap())
+            .unwrap();
+        d.connect(d.port(dt, "out").unwrap(), d.port(lim, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        let net = d.net_of(d.port(lim, "in").unwrap()).unwrap();
+        assert_eq!(
+            r.net_dimensions.get(&net.id),
+            Some(&Dimension::VOLTAGE_RATE)
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! The input-stage construct (paper Fig. 2).
+//!
+//! "An input stage contains one pin, interface elements and an input
+//! impedance (Rin, Cin). The voltage is read on the pin, a current is then
+//! imposed according to Ohm's law. Finally, a variable is delivered
+//! representing the voltage on the input pin."
+
+use crate::card::{CharacteristicClass, DefinitionCard, PinDomain};
+use crate::diagram::FunctionalDiagram;
+use crate::quantity::Dimension;
+use crate::symbol::{PropertyValue, SymbolKind};
+use crate::CoreError;
+
+/// Parameterized builder of the Fig. 2 input stage.
+///
+/// The imposed current is `i = gin·v + cin·dv/dt` — the admittance of
+/// `Rin = 1/gin` in parallel with `Cin`.
+///
+/// # Example
+///
+/// ```
+/// use gabm_core::constructs::InputStageSpec;
+///
+/// # fn main() -> Result<(), gabm_core::CoreError> {
+/// let spec = InputStageSpec::new("in", 1e-6, 5e-12);
+/// let diagram = spec.diagram()?;
+/// assert_eq!(diagram.symbol_count(), 7);
+/// assert!(gabm_core::check_diagram(&diagram).is_consistent());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputStageSpec {
+    /// External pin name.
+    pub pin: String,
+    /// Input conductance `gin = 1/Rin` (S).
+    pub gin: f64,
+    /// Input capacitance (F).
+    pub cin: f64,
+    /// Parameter-name prefix, letting several stages coexist in one model
+    /// (empty = the paper's plain `gin` / `cin`).
+    pub param_prefix: String,
+}
+
+impl InputStageSpec {
+    /// Creates a spec with conductance `gin` and capacitance `cin`.
+    pub fn new(pin: &str, gin: f64, cin: f64) -> Self {
+        InputStageSpec {
+            pin: pin.to_string(),
+            gin,
+            cin,
+            param_prefix: String::new(),
+        }
+    }
+
+    /// Builder-style parameter prefix (e.g. `"p"` → `pgin`, `pcin`).
+    pub fn with_param_prefix(mut self, prefix: &str) -> Self {
+        self.param_prefix = prefix.to_string();
+        self
+    }
+
+    /// Equivalent input resistance in ohms.
+    pub fn rin(&self) -> f64 {
+        1.0 / self.gin
+    }
+
+    fn gin_name(&self) -> String {
+        format!("{}gin", self.param_prefix)
+    }
+
+    fn cin_name(&self) -> String {
+        format!("{}cin", self.param_prefix)
+    }
+
+    /// Builds the functional diagram.
+    ///
+    /// Symbol numbering matches the paper's §4.2 example: the probe is
+    /// symbol 2 (`v2`), the differentiator symbol 4 (`yd4`), the two gains 5
+    /// and 6, the adder 7.
+    ///
+    /// # Errors
+    ///
+    /// Propagates diagram-construction errors (none occur for valid specs).
+    pub fn diagram(&self) -> Result<FunctionalDiagram, CoreError> {
+        let mut d = FunctionalDiagram::new(&format!("input_stage_{}", self.pin));
+        d.add_parameter(&self.gin_name(), self.gin, Dimension::CONDUCTANCE);
+        d.add_parameter(&self.cin_name(), self.cin, Dimension::CAPACITANCE);
+        // Order matters: ids appear in generated variable names.
+        let pin = d.add_symbol(SymbolKind::Pin {
+            name: self.pin.clone(),
+        }); // 1
+        let probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        }); // 2 → v2
+        let gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        }); // 3 (current maker)
+        let ddt = d.add_symbol(SymbolKind::Differentiator); // 4 → yd4
+        let gain_c = d.add_symbol_with(
+            SymbolKind::Gain,
+            &[("a", PropertyValue::Param(self.cin_name()))],
+            Some("Cin"),
+        ); // 5 → yout5
+        let gain_g = d.add_symbol_with(
+            SymbolKind::Gain,
+            &[("a", PropertyValue::Param(self.gin_name()))],
+            Some("Gin"),
+        ); // 6 → yout6
+        let add = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, true],
+        }); // 7 → yout7
+
+        let pin_port = d.port(pin, "pin")?;
+        d.connect(pin_port, d.port(probe, "pin")?)?;
+        d.connect(pin_port, d.port(gen, "pin")?)?;
+        d.connect(d.port(probe, "out")?, d.port(ddt, "in")?)?;
+        d.connect(d.port(ddt, "out")?, d.port(gain_c, "in")?)?;
+        d.connect(d.port(probe, "out")?, d.port(gain_g, "in")?)?;
+        d.connect(d.port(gain_c, "out")?, d.port(add, "in0")?)?;
+        d.connect(d.port(gain_g, "out")?, d.port(add, "in1")?)?;
+        d.connect(d.port(add, "out")?, d.port(gen, "in")?)?;
+        // "A variable is delivered representing the voltage on the input
+        // pin." The stage current is exposed too, for the power-supply
+        // block's balance sheet (Fig. 4).
+        d.expose("v", d.port(probe, "out")?)?;
+        d.expose("iin", d.port(add, "out")?)?;
+        Ok(d)
+    }
+
+    /// Builds the matching definition card.
+    ///
+    /// # Errors
+    ///
+    /// Propagates card validation errors (none occur for valid specs).
+    pub fn card(&self) -> Result<DefinitionCard, CoreError> {
+        DefinitionCard::builder(&format!("input_stage_{}", self.pin))
+            .describe("single-ended input stage with input impedance Rin || Cin")
+            .pin(&self.pin, PinDomain::Electrical, "signal input pin")
+            .parameter(
+                &self.gin_name(),
+                self.gin,
+                Dimension::CONDUCTANCE,
+                "input conductance 1/Rin",
+            )
+            .parameter(
+                &self.cin_name(),
+                self.cin,
+                Dimension::CAPACITANCE,
+                "input capacitance",
+            )
+            .characteristic(
+                "input impedance",
+                CharacteristicClass::Primary,
+                "Zin = Rin || 1/(s Cin)",
+            )
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_diagram;
+
+    #[test]
+    fn paper_symbol_numbering() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        // Probe is #2, differentiator #4, gains #5/#6, adder #7.
+        assert_eq!(d.symbol_count(), 7);
+        assert_eq!(
+            d.symbol(crate::diagram::SymbolId(2)).unwrap().kind,
+            SymbolKind::Probe {
+                quantity: Dimension::VOLTAGE
+            }
+        );
+        assert!(matches!(
+            d.symbol(crate::diagram::SymbolId(4)).unwrap().kind,
+            SymbolKind::Differentiator
+        ));
+        assert!(matches!(
+            d.symbol(crate::diagram::SymbolId(7)).unwrap().kind,
+            SymbolKind::Adder { .. }
+        ));
+    }
+
+    #[test]
+    fn diagram_is_consistent() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let r = check_diagram(&d);
+        assert!(r.is_consistent(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn dimensions_flow_to_current() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let r = check_diagram(&d);
+        // The adder output net (current generator input) must be CURRENT.
+        let gen_in = d
+            .net_of(d.port(crate::diagram::SymbolId(3), "in").unwrap())
+            .unwrap();
+        assert_eq!(
+            r.net_dimensions.get(&gen_in.id),
+            Some(&Dimension::CURRENT)
+        );
+    }
+
+    #[test]
+    fn card_matches_diagram() {
+        let spec = InputStageSpec::new("in", 1e-6, 5e-12);
+        let card = spec.card().unwrap();
+        let diagram = spec.diagram().unwrap();
+        assert!(card.matches_diagram(&diagram).is_ok());
+        assert!((spec.rin() - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn prefix_namespaces_parameters() {
+        let spec = InputStageSpec::new("inp", 1e-6, 5e-12).with_param_prefix("p_");
+        let d = spec.diagram().unwrap();
+        assert!(d.parameters().iter().any(|p| p.name == "p_gin"));
+        assert!(d.parameters().iter().any(|p| p.name == "p_cin"));
+    }
+
+    #[test]
+    fn exposes_voltage_variable() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let itf = d.interface_port("v").unwrap();
+        assert_eq!(itf.dimension, Some(Dimension::VOLTAGE));
+    }
+}

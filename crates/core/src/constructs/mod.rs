@@ -1,0 +1,30 @@
+//! Basic functional constructs (§3.3).
+//!
+//! "Some basic functional groups can be defined. They are common to many
+//! models and hence allow easy re-use of code." The four constructs of the
+//! paper are provided as parameterized diagram builders:
+//!
+//! * [`InputStageSpec`] — Fig. 2: pin + interface elements + input
+//!   impedance (Rin ∥ Cin), an expression of Ohm's law;
+//! * [`OutputStageSpec`] — Fig. 3: pin, output conductance `Gout` and an
+//!   optional current limitation, again Ohm's law;
+//! * [`PowerSupplySpec`] — Fig. 4: supply pins + polarization pin current,
+//!   an expression of Kirchhoff's current law ("balance sheet of all the
+//!   currents in the model");
+//! * [`SlewRateSpec`] — Fig. 5: analytical slope limitation built around a
+//!   one-simulation-step delay element.
+//!
+//! Each builder returns a [`FunctionalDiagram`](crate::diagram::FunctionalDiagram) whose symbol numbering
+//! follows the paper (the input stage reproduces the §4.2 listing variable
+//! names `v2`, `yd4`, `yout5`, `yout6`, `yout7` exactly) plus a matching
+//! [`DefinitionCard`](crate::card::DefinitionCard).
+
+mod input_stage;
+mod output_stage;
+mod power_supply;
+mod slew_rate;
+
+pub use input_stage::InputStageSpec;
+pub use output_stage::OutputStageSpec;
+pub use power_supply::PowerSupplySpec;
+pub use slew_rate::SlewRateSpec;

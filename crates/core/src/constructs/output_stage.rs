@@ -1,0 +1,221 @@
+//! The output-stage construct (paper Fig. 3).
+//!
+//! "An output stage is composed of one pin, interface elements, an output
+//! conductance Gout — that may be replaced by an admittance — and an
+//! optional current limitation block. The voltage on the pin is read: it
+//! represents the voltage after Gout while the input variable of the block
+//! is the desired voltage. These two values and Ohm's law determine the
+//! current that has to be imposed on the pin."
+
+use crate::card::{CharacteristicClass, DefinitionCard, PinDomain};
+use crate::diagram::FunctionalDiagram;
+use crate::quantity::Dimension;
+use crate::symbol::{PropertyValue, SymbolKind};
+use crate::CoreError;
+
+/// Parameterized builder of the Fig. 3 output stage.
+///
+/// With the receptor sign convention of `curr.on` (current flowing from the
+/// node into the model), the imposed current is `i = gout·(vout − vdesired)`,
+/// optionally clipped to `±ilim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputStageSpec {
+    /// External pin name.
+    pub pin: String,
+    /// Output conductance `gout = 1/Rout` (S).
+    pub gout: f64,
+    /// Optional symmetric current limit (A).
+    pub ilim: Option<f64>,
+    /// Parameter-name prefix.
+    pub param_prefix: String,
+}
+
+impl OutputStageSpec {
+    /// Creates a spec without current limitation.
+    pub fn new(pin: &str, gout: f64) -> Self {
+        OutputStageSpec {
+            pin: pin.to_string(),
+            gout,
+            ilim: None,
+            param_prefix: String::new(),
+        }
+    }
+
+    /// Builder-style current limit.
+    pub fn with_current_limit(mut self, ilim: f64) -> Self {
+        self.ilim = Some(ilim);
+        self
+    }
+
+    /// Builder-style parameter prefix.
+    pub fn with_param_prefix(mut self, prefix: &str) -> Self {
+        self.param_prefix = prefix.to_string();
+        self
+    }
+
+    /// Equivalent output resistance in ohms.
+    pub fn rout(&self) -> f64 {
+        1.0 / self.gout
+    }
+
+    fn gout_name(&self) -> String {
+        format!("{}gout", self.param_prefix)
+    }
+
+    fn ilim_name(&self) -> String {
+        format!("{}ilim", self.param_prefix)
+    }
+
+    /// Builds the functional diagram. The desired voltage enters through the
+    /// exposed input port `vin`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates diagram-construction errors (none occur for valid specs).
+    pub fn diagram(&self) -> Result<FunctionalDiagram, CoreError> {
+        let mut d = FunctionalDiagram::new(&format!("output_stage_{}", self.pin));
+        d.add_parameter(&self.gout_name(), self.gout, Dimension::CONDUCTANCE);
+        if let Some(ilim) = self.ilim {
+            d.add_parameter(&self.ilim_name(), ilim, Dimension::CURRENT);
+        }
+        let pin = d.add_symbol(SymbolKind::Pin {
+            name: self.pin.clone(),
+        });
+        let probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        });
+        let gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        });
+        // vout − vdesired.
+        let sub = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, false],
+        });
+        let gain = d.add_symbol_with(
+            SymbolKind::Gain,
+            &[("a", PropertyValue::Param(self.gout_name()))],
+            Some("Gout"),
+        );
+        let pin_port = d.port(pin, "pin")?;
+        d.connect(pin_port, d.port(probe, "pin")?)?;
+        d.connect(pin_port, d.port(gen, "pin")?)?;
+        d.connect(d.port(probe, "out")?, d.port(sub, "in0")?)?;
+        d.connect(d.port(sub, "out")?, d.port(gain, "in")?)?;
+        let current_out = if self.ilim.is_some() {
+            let lim = d.add_symbol_with(
+                SymbolKind::Limiter,
+                &[
+                    ("min", PropertyValue::NegParam(self.ilim_name())),
+                    ("max", PropertyValue::Param(self.ilim_name())),
+                ],
+                Some("Ilim"),
+            );
+            d.connect(d.port(gain, "out")?, d.port(lim, "in")?)?;
+            d.port(lim, "out")?
+        } else {
+            d.port(gain, "out")?
+        };
+        d.connect(current_out, d.port(gen, "in")?)?;
+        // Exposed desired-voltage input, a probe of the actual output, and
+        // the stage current (consumed by the power-supply balance sheet).
+        d.expose("vin", d.port(sub, "in1")?)?;
+        d.expose("vout", d.port(probe, "out")?)?;
+        d.expose("iout", current_out)?;
+        Ok(d)
+    }
+
+    /// Builds the matching definition card.
+    ///
+    /// # Errors
+    ///
+    /// Propagates card validation errors (none occur for valid specs).
+    pub fn card(&self) -> Result<DefinitionCard, CoreError> {
+        let mut b = DefinitionCard::builder(&format!("output_stage_{}", self.pin))
+            .describe("output stage with output conductance and optional current limitation")
+            .pin(&self.pin, PinDomain::Electrical, "signal output pin")
+            .parameter(
+                &self.gout_name(),
+                self.gout,
+                Dimension::CONDUCTANCE,
+                "output conductance 1/Rout",
+            )
+            .characteristic(
+                "output impedance",
+                CharacteristicClass::Primary,
+                "Rout = 1/gout",
+            );
+        if let Some(ilim) = self.ilim {
+            b = b
+                .parameter(
+                    &self.ilim_name(),
+                    ilim,
+                    Dimension::CURRENT,
+                    "symmetric output current limit",
+                )
+                .characteristic(
+                    "current limitation",
+                    CharacteristicClass::SecondOrder,
+                    "|iout| <= ilim",
+                );
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_diagram;
+
+    #[test]
+    fn unlimited_stage_is_consistent() {
+        let d = OutputStageSpec::new("out", 1e-3).diagram().unwrap();
+        let r = check_diagram(&d);
+        assert!(r.is_consistent(), "{:?}", r.diagnostics);
+        assert_eq!(d.symbol_count(), 5);
+    }
+
+    #[test]
+    fn limited_stage_adds_limiter() {
+        let d = OutputStageSpec::new("out", 1e-3)
+            .with_current_limit(10e-3)
+            .diagram()
+            .unwrap();
+        assert_eq!(d.symbol_count(), 6);
+        let r = check_diagram(&d);
+        assert!(r.is_consistent(), "{:?}", r.diagnostics);
+        assert!(d
+            .symbols()
+            .any(|s| matches!(s.kind, SymbolKind::Limiter)));
+    }
+
+    #[test]
+    fn current_dimension_via_ohms_law() {
+        let d = OutputStageSpec::new("out", 1e-3)
+            .with_current_limit(10e-3)
+            .diagram()
+            .unwrap();
+        let r = check_diagram(&d);
+        // Generator input (symbol 3 "in") must be CURRENT.
+        let gen_in = d
+            .net_of(d.port(crate::diagram::SymbolId(3), "in").unwrap())
+            .unwrap();
+        assert_eq!(r.net_dimensions.get(&gen_in.id), Some(&Dimension::CURRENT));
+    }
+
+    #[test]
+    fn interface_ports() {
+        let d = OutputStageSpec::new("out", 1e-3).diagram().unwrap();
+        assert!(d.interface_port("vin").is_ok());
+        assert!(d.interface_port("vout").is_ok());
+    }
+
+    #[test]
+    fn card_matches() {
+        let spec = OutputStageSpec::new("out", 2e-3).with_current_limit(5e-3);
+        assert!((spec.rout() - 500.0).abs() < 1e-9);
+        let card = spec.card().unwrap();
+        assert_eq!(card.parameters().len(), 2);
+        assert!(card.matches_diagram(&spec.diagram().unwrap()).is_ok());
+    }
+}

@@ -1,0 +1,258 @@
+//! The power-supply construct (paper Fig. 4).
+//!
+//! "The power supply block includes both usual power supply pins and a
+//! polarization pin. The polarization current is computed near to an
+//! operating point which depends on the voltage read on the pin. The
+//! currents on the other pins are computed by drawing the balance sheet of
+//! all the currents in the model: all the currents that flow out of the
+//! model (except through VSS) originate at VDD; all the currents that flow
+//! into the model (except through VDD) go to VSS. An additional loss current
+//! is defined as a parameter."
+
+use crate::card::{CharacteristicClass, DefinitionCard, PinDomain};
+use crate::diagram::FunctionalDiagram;
+use crate::quantity::Dimension;
+use crate::symbol::{PropertyValue, SymbolKind};
+use crate::CoreError;
+
+/// Parameterized builder of the Fig. 4 power-supply block.
+///
+/// Stage currents (`i_k` = current into the model at each signal pin, the
+/// `curr.on` receptor convention) are fed in through exposed input ports.
+/// Each is split by a separator element: negative parts (current sourced by
+/// the model) are drawn from VDD, positive parts (current absorbed by the
+/// model) are returned to VSS:
+///
+/// ```text
+/// i_vdd = iloss + ipol − Σ min(i_k, 0)
+/// i_vss = −iloss − ipol − Σ max(i_k, 0)
+/// ```
+///
+/// which guarantees `i_vdd + i_vss + Σ i_k = 0` — the balance sheet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSupplySpec {
+    /// Positive supply pin name.
+    pub vdd_pin: String,
+    /// Negative supply pin name.
+    pub vss_pin: String,
+    /// Polarization conductance: `ipol = gpol·(vdd − vss)` near the
+    /// operating point (S).
+    pub gpol: f64,
+    /// Constant loss current (A).
+    pub iloss: f64,
+    /// Number of monitored stage currents.
+    pub n_stages: usize,
+}
+
+impl PowerSupplySpec {
+    /// Creates a spec with `n_stages` monitored stage currents.
+    pub fn new(vdd_pin: &str, vss_pin: &str, gpol: f64, iloss: f64, n_stages: usize) -> Self {
+        PowerSupplySpec {
+            vdd_pin: vdd_pin.to_string(),
+            vss_pin: vss_pin.to_string(),
+            gpol,
+            iloss,
+            n_stages,
+        }
+    }
+
+    /// Builds the functional diagram. Stage currents enter through exposed
+    /// input ports `istage0…istage{n-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates diagram-construction errors (none occur for valid specs).
+    pub fn diagram(&self) -> Result<FunctionalDiagram, CoreError> {
+        let mut d = FunctionalDiagram::new("power_supply");
+        d.add_parameter("gpol", self.gpol, Dimension::CONDUCTANCE);
+        d.add_parameter("iloss", self.iloss, Dimension::CURRENT);
+
+        let vdd = d.add_symbol(SymbolKind::Pin {
+            name: self.vdd_pin.clone(),
+        });
+        let vdd_probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        });
+        let vdd_gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        });
+        let vss = d.add_symbol(SymbolKind::Pin {
+            name: self.vss_pin.clone(),
+        });
+        let vss_probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        });
+        let vss_gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        });
+        d.connect(d.port(vdd, "pin")?, d.port(vdd_probe, "pin")?)?;
+        d.connect(d.port(vdd, "pin")?, d.port(vdd_gen, "pin")?)?;
+        d.connect(d.port(vss, "pin")?, d.port(vss_probe, "pin")?)?;
+        d.connect(d.port(vss, "pin")?, d.port(vss_gen, "pin")?)?;
+
+        // Polarization current near the operating point: gpol·(vdd − vss).
+        let vsup = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, false],
+        });
+        d.connect(d.port(vdd_probe, "out")?, d.port(vsup, "in0")?)?;
+        d.connect(d.port(vss_probe, "out")?, d.port(vsup, "in1")?)?;
+        let gpol = d.add_symbol_with(
+            SymbolKind::Gain,
+            &[("a", PropertyValue::Param("gpol".into()))],
+            Some("polarization"),
+        );
+        d.connect(d.port(vsup, "out")?, d.port(gpol, "in")?)?;
+
+        // Loss current parameter.
+        let iloss = d.add_symbol(SymbolKind::Parameter {
+            param: "iloss".into(),
+            dimension: Dimension::CURRENT,
+        });
+
+        // Split each stage current into sourced (negative) and absorbed
+        // (positive) parts.
+        let mut separators = Vec::new();
+        for _ in 0..self.n_stages {
+            separators.push(d.add_symbol(SymbolKind::Separator));
+        }
+
+        // VDD balance: iloss + ipol − Σ neg_k.
+        let mut vdd_signs = vec![true, true];
+        vdd_signs.extend(std::iter::repeat(false).take(self.n_stages));
+        let vdd_sum = d.add_symbol(SymbolKind::Adder { signs: vdd_signs });
+        d.connect(d.port(iloss, "out")?, d.port(vdd_sum, "in0")?)?;
+        d.connect(d.port(gpol, "out")?, d.port(vdd_sum, "in1")?)?;
+        for (k, sep) in separators.iter().enumerate() {
+            d.connect(
+                d.port(*sep, "neg")?,
+                d.port(vdd_sum, &format!("in{}", k + 2))?,
+            )?;
+        }
+        d.connect(d.port(vdd_sum, "out")?, d.port(vdd_gen, "in")?)?;
+
+        // VSS balance: −iloss − ipol − Σ pos_k.
+        let mut vss_signs = vec![false, false];
+        vss_signs.extend(std::iter::repeat(false).take(self.n_stages));
+        let vss_sum = d.add_symbol(SymbolKind::Adder { signs: vss_signs });
+        d.connect(d.port(iloss, "out")?, d.port(vss_sum, "in0")?)?;
+        d.connect(d.port(gpol, "out")?, d.port(vss_sum, "in1")?)?;
+        for (k, sep) in separators.iter().enumerate() {
+            d.connect(
+                d.port(*sep, "pos")?,
+                d.port(vss_sum, &format!("in{}", k + 2))?,
+            )?;
+        }
+        d.connect(d.port(vss_sum, "out")?, d.port(vss_gen, "in")?)?;
+
+        // Expose the stage-current inputs.
+        for (k, sep) in separators.iter().enumerate() {
+            d.expose(&format!("istage{k}"), d.port(*sep, "in")?)?;
+        }
+        Ok(d)
+    }
+
+    /// Builds the matching definition card.
+    ///
+    /// # Errors
+    ///
+    /// Propagates card validation errors (none occur for valid specs).
+    pub fn card(&self) -> Result<DefinitionCard, CoreError> {
+        DefinitionCard::builder("power_supply")
+            .describe("power supply block: polarization current + current balance sheet")
+            .pin(&self.vdd_pin, PinDomain::Electrical, "positive supply")
+            .pin(&self.vss_pin, PinDomain::Electrical, "negative supply")
+            .parameter(
+                "gpol",
+                self.gpol,
+                Dimension::CONDUCTANCE,
+                "polarization conductance near the operating point",
+            )
+            .parameter("iloss", self.iloss, Dimension::CURRENT, "loss current")
+            .characteristic(
+                "supply current",
+                CharacteristicClass::SecondOrder,
+                "polarization + loss + stage balance",
+            )
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_diagram;
+
+    #[test]
+    fn diagram_is_consistent() {
+        let d = PowerSupplySpec::new("vdd", "vss", 1e-5, 1e-4, 2)
+            .diagram()
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(r.is_consistent(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn stage_inputs_exposed() {
+        let d = PowerSupplySpec::new("vdd", "vss", 1e-5, 1e-4, 3)
+            .diagram()
+            .unwrap();
+        for k in 0..3 {
+            assert!(d.interface_port(&format!("istage{k}")).is_ok());
+        }
+        assert!(d.interface_port("istage3").is_err());
+    }
+
+    #[test]
+    fn zero_stage_block_still_balances() {
+        let d = PowerSupplySpec::new("vdd", "vss", 1e-5, 0.0, 0)
+            .diagram()
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(r.is_consistent(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn separator_count_matches_stages() {
+        let d = PowerSupplySpec::new("vdd", "vss", 1e-5, 1e-4, 4)
+            .diagram()
+            .unwrap();
+        let seps = d
+            .symbols()
+            .filter(|s| matches!(s.kind, SymbolKind::Separator))
+            .count();
+        assert_eq!(seps, 4);
+    }
+
+    #[test]
+    fn card_matches() {
+        let spec = PowerSupplySpec::new("vdd", "vss", 1e-5, 1e-4, 1);
+        let card = spec.card().unwrap();
+        assert!(card.matches_diagram(&spec.diagram().unwrap()).is_ok());
+        assert_eq!(card.pins().len(), 2);
+    }
+
+    #[test]
+    fn current_dimensions_inferred() {
+        let d = PowerSupplySpec::new("vdd", "vss", 1e-5, 1e-4, 1)
+            .diagram()
+            .unwrap();
+        let r = check_diagram(&d);
+        // All adder outputs driving generators are CURRENT.
+        for sym in d.symbols() {
+            if matches!(sym.kind, SymbolKind::Generator { .. }) {
+                let net = d
+                    .net_of(crate::diagram::PortRef {
+                        symbol: crate::diagram::SymbolId(sym.id),
+                        port: 1,
+                    })
+                    .unwrap();
+                assert_eq!(
+                    r.net_dimensions.get(&net.id),
+                    Some(&Dimension::CURRENT),
+                    "generator {} input",
+                    sym.id
+                );
+            }
+        }
+    }
+}

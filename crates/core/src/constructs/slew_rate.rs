@@ -1,0 +1,220 @@
+//! The slew-rate construct (paper Fig. 5).
+//!
+//! "The desired slope of the signal is calculated by dividing the difference
+//! between the current value of the signal and its last value by the current
+//! time step of the simulation engine. This slope is limited by a maximum
+//! rise rate and a maximum fall rate determined by the parameters of the
+//! block. The output value is then evaluated according to the computed
+//! slope. … A variable delay element (duration: 1 current time step) is
+//! introduced in order to get the last computed value of a signal. In the
+//! present example, a calculated increase is added to the last value of the
+//! output signal."
+
+use crate::card::{CharacteristicClass, DefinitionCard, PinDomain};
+use crate::diagram::FunctionalDiagram;
+use crate::quantity::Dimension;
+use crate::symbol::{PropertyValue, SimVar, SymbolKind};
+use crate::CoreError;
+
+/// Parameterized builder of the Fig. 5 slew-rate block.
+///
+/// Signal flow (`u` = desired value, `y` = slew-limited output):
+///
+/// ```text
+/// ylast = delay_1step(y)
+/// slope = (u − ylast) / timestep
+/// slope_lim = limit(slope, −max_fall, +max_rise)
+/// y = ylast + slope_lim · timestep
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlewRateSpec {
+    /// Maximum rising slope (V/s).
+    pub max_rise: f64,
+    /// Maximum falling slope magnitude (V/s).
+    pub max_fall: f64,
+    /// Parameter-name prefix.
+    pub param_prefix: String,
+}
+
+impl SlewRateSpec {
+    /// Creates a symmetric or asymmetric slew-rate spec.
+    pub fn new(max_rise: f64, max_fall: f64) -> Self {
+        SlewRateSpec {
+            max_rise,
+            max_fall,
+            param_prefix: String::new(),
+        }
+    }
+
+    /// Builder-style parameter prefix.
+    pub fn with_param_prefix(mut self, prefix: &str) -> Self {
+        self.param_prefix = prefix.to_string();
+        self
+    }
+
+    fn rise_name(&self) -> String {
+        format!("{}srise", self.param_prefix)
+    }
+
+    fn fall_name(&self) -> String {
+        format!("{}sfall", self.param_prefix)
+    }
+
+    /// Builds the functional diagram with exposed ports `u` (input) and `y`
+    /// (output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates diagram-construction errors (none occur for valid specs).
+    pub fn diagram(&self) -> Result<FunctionalDiagram, CoreError> {
+        let mut d = FunctionalDiagram::new("slew_rate");
+        d.add_parameter(&self.rise_name(), self.max_rise, Dimension::VOLTAGE_RATE);
+        d.add_parameter(&self.fall_name(), self.max_fall, Dimension::VOLTAGE_RATE);
+
+        let delay = d.add_symbol(SymbolKind::UnitDelay); // ylast
+        let diff = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, false],
+        }); // u − ylast
+        let dt = d.add_symbol(SymbolKind::SimVariable {
+            var: SimVar::TimeStep,
+        });
+        let slope = d.add_symbol(SymbolKind::Multiplier {
+            ops: vec![true, false],
+        }); // (u − ylast) / dt
+        let lim = d.add_symbol_with(
+            SymbolKind::Limiter,
+            &[
+                ("min", PropertyValue::NegParam(self.fall_name())),
+                ("max", PropertyValue::Param(self.rise_name())),
+            ],
+            Some("slope limit"),
+        );
+        let dy = d.add_symbol(SymbolKind::Multiplier {
+            ops: vec![true, true],
+        }); // slope_lim · dt
+        let out = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, true],
+        }); // ylast + dy
+
+        d.connect(d.port(delay, "out")?, d.port(diff, "in1")?)?;
+        d.connect(d.port(diff, "out")?, d.port(slope, "in0")?)?;
+        d.connect(d.port(dt, "out")?, d.port(slope, "in1")?)?;
+        d.connect(d.port(slope, "out")?, d.port(lim, "in")?)?;
+        d.connect(d.port(lim, "out")?, d.port(dy, "in0")?)?;
+        d.connect(d.port(dt, "out")?, d.port(dy, "in1")?)?;
+        d.connect(d.port(delay, "out")?, d.port(out, "in0")?)?;
+        d.connect(d.port(dy, "out")?, d.port(out, "in1")?)?;
+        // Close the loop through the one-step delay.
+        d.connect(d.port(out, "out")?, d.port(delay, "in")?)?;
+
+        d.expose("u", d.port(diff, "in0")?)?;
+        d.expose("y", d.port(out, "out")?)?;
+        Ok(d)
+    }
+
+    /// Builds a stand-alone definition card for the block (as a
+    /// demonstration model with a buffer pinout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates card validation errors (none occur for valid specs).
+    pub fn card(&self) -> Result<DefinitionCard, CoreError> {
+        DefinitionCard::builder("slew_rate")
+            .describe("slope limitation with distinct maximum rise and fall rates")
+            .pin("in", PinDomain::Electrical, "signal input (conceptual)")
+            .pin("out", PinDomain::Electrical, "slew-limited output (conceptual)")
+            .parameter(
+                &self.rise_name(),
+                self.max_rise,
+                Dimension::VOLTAGE_RATE,
+                "maximum rise rate",
+            )
+            .parameter(
+                &self.fall_name(),
+                self.max_fall,
+                Dimension::VOLTAGE_RATE,
+                "maximum fall rate",
+            )
+            .characteristic(
+                "slew rate",
+                CharacteristicClass::Primary,
+                "output slope clipped to [-sfall, +srise]",
+            )
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_diagram;
+
+    #[test]
+    fn diagram_is_consistent_despite_feedback() {
+        let d = SlewRateSpec::new(1e6, 1e6).diagram().unwrap();
+        let r = check_diagram(&d);
+        // The feedback loop passes through the unit delay, so no algebraic
+        // loop may be reported.
+        assert!(r.is_consistent(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn dimension_chain() {
+        let d = SlewRateSpec::new(1e6, 2e6).diagram().unwrap();
+        let mut d2 = d.clone();
+        // Drive u with a voltage parameter so inference has a seed.
+        let src = d2.add_symbol(SymbolKind::Parameter {
+            param: "u0".into(),
+            dimension: Dimension::VOLTAGE,
+        });
+        let u = d2.interface_port("u").unwrap().inner;
+        d2.connect(d2.port(src, "out").unwrap(), u).unwrap();
+        let r = check_diagram(&d2);
+        assert!(r.is_consistent(), "{:?}", r.diagnostics);
+        // The limiter input net is a voltage rate.
+        let lim = d2
+            .symbols()
+            .find(|s| matches!(s.kind, SymbolKind::Limiter))
+            .unwrap();
+        let net = d2
+            .net_of(crate::diagram::PortRef {
+                symbol: crate::diagram::SymbolId(lim.id),
+                port: 0,
+            })
+            .unwrap();
+        assert_eq!(
+            r.net_dimensions.get(&net.id),
+            Some(&Dimension::VOLTAGE_RATE)
+        );
+    }
+
+    #[test]
+    fn asymmetric_limits_in_properties() {
+        let d = SlewRateSpec::new(5e6, 1e6).diagram().unwrap();
+        let lim = d
+            .symbols()
+            .find(|s| matches!(s.kind, SymbolKind::Limiter))
+            .unwrap();
+        assert_eq!(
+            lim.property("max"),
+            Some(&PropertyValue::Param("srise".into()))
+        );
+        assert_eq!(
+            lim.property("min"),
+            Some(&PropertyValue::NegParam("sfall".into()))
+        );
+    }
+
+    #[test]
+    fn exposes_u_and_y() {
+        let d = SlewRateSpec::new(1e6, 1e6).diagram().unwrap();
+        assert!(d.interface_port("u").is_ok());
+        assert!(d.interface_port("y").is_ok());
+    }
+
+    #[test]
+    fn card_builds() {
+        let card = SlewRateSpec::new(1e6, 2e6).card().unwrap();
+        assert_eq!(card.parameters().len(), 2);
+    }
+}

@@ -1,0 +1,627 @@
+//! Functional diagrams: symbols wired into nets.
+//!
+//! The second view of a model (§2.2): "Symbols, each of which stands for an
+//! analytical function, are interconnected using an existing schematic entry
+//! tool. … the functional diagram gathers information on the specified
+//! behaviour and on the foreseen code structure."
+
+use crate::quantity::Dimension;
+use crate::symbol::{PortDirection, PropertyValue, Symbol, SymbolKind};
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifier of a symbol inside one diagram (1-based — the ids appear in
+/// generated variable names such as `yout7`, exactly like the paper's §4.2
+/// listing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SymbolId(pub usize);
+
+/// Identifier of a net inside one diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub usize);
+
+/// A reference to one port of one symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortRef {
+    /// The symbol.
+    pub symbol: SymbolId,
+    /// Port index within the symbol (see [`SymbolKind::ports`]).
+    pub port: usize,
+}
+
+/// A net: an equipotential connection of symbol ports ("Nets are formed,
+/// that correspond to signals").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Stable id of the net.
+    pub id: NetId,
+    /// Optional user-visible name.
+    pub name: Option<String>,
+    /// Connected ports.
+    pub ports: Vec<PortRef>,
+}
+
+/// An externally visible port of the diagram (used when the diagram becomes
+/// a hierarchical GBS).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterfacePort {
+    /// External name.
+    pub name: String,
+    /// Direction, inherited from the bound internal port.
+    pub direction: PortDirection,
+    /// Dimension, inherited from the bound internal port.
+    pub dimension: Option<Dimension>,
+    /// The internal port this interface port is bound to.
+    pub inner: PortRef,
+}
+
+/// A declared model parameter with its default value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Default value (SI units).
+    pub default: f64,
+    /// Physical dimension.
+    pub dimension: Dimension,
+}
+
+/// A functional diagram: the graphical description of a model's behaviour.
+///
+/// # Example
+///
+/// ```
+/// use gabm_core::diagram::FunctionalDiagram;
+/// use gabm_core::symbol::SymbolKind;
+/// use gabm_core::quantity::Dimension;
+///
+/// # fn main() -> Result<(), gabm_core::CoreError> {
+/// let mut d = FunctionalDiagram::new("demo");
+/// let pin = d.add_symbol(SymbolKind::Pin { name: "in".into() });
+/// let probe = d.add_symbol(SymbolKind::Probe { quantity: Dimension::VOLTAGE });
+/// d.connect(d.port(pin, "pin")?, d.port(probe, "pin")?)?;
+/// assert_eq!(d.nets().count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(from = "DiagramSerde")]
+pub struct FunctionalDiagram {
+    name: String,
+    symbols: Vec<Symbol>,
+    nets: Vec<Option<Net>>,
+    #[serde(skip)]
+    port_net: HashMap<PortRef, NetId>,
+    interface: Vec<InterfacePort>,
+    parameters: Vec<ParameterDecl>,
+}
+
+/// Deserialization shadow: rebuilds the port→net index, which is derived
+/// state and not serialized.
+#[derive(Deserialize)]
+struct DiagramSerde {
+    name: String,
+    symbols: Vec<Symbol>,
+    nets: Vec<Option<Net>>,
+    interface: Vec<InterfacePort>,
+    parameters: Vec<ParameterDecl>,
+}
+
+impl From<DiagramSerde> for FunctionalDiagram {
+    fn from(s: DiagramSerde) -> Self {
+        let mut port_net = HashMap::new();
+        for net in s.nets.iter().flatten() {
+            for p in &net.ports {
+                port_net.insert(*p, net.id);
+            }
+        }
+        FunctionalDiagram {
+            name: s.name,
+            symbols: s.symbols,
+            nets: s.nets,
+            port_net,
+            interface: s.interface,
+            parameters: s.parameters,
+        }
+    }
+}
+
+impl FunctionalDiagram {
+    /// Creates an empty diagram.
+    pub fn new(name: &str) -> Self {
+        FunctionalDiagram {
+            name: name.to_string(),
+            ..FunctionalDiagram::default()
+        }
+    }
+
+    /// Diagram (model) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the diagram.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    /// Adds a symbol, returning its id.
+    pub fn add_symbol(&mut self, kind: SymbolKind) -> SymbolId {
+        let id = SymbolId(self.symbols.len() + 1);
+        self.symbols.push(Symbol {
+            id: id.0,
+            kind,
+            properties: BTreeMap::new(),
+            label: None,
+        });
+        id
+    }
+
+    /// Adds a symbol with properties and an optional label.
+    pub fn add_symbol_with(
+        &mut self,
+        kind: SymbolKind,
+        properties: &[(&str, PropertyValue)],
+        label: Option<&str>,
+    ) -> SymbolId {
+        let id = self.add_symbol(kind);
+        let sym = &mut self.symbols[id.0 - 1];
+        for (k, v) in properties {
+            sym.properties.insert((*k).to_string(), v.clone());
+        }
+        sym.label = label.map(str::to_string);
+        id
+    }
+
+    /// Sets a property on a symbol.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownSymbol`] for a foreign id.
+    pub fn set_property(
+        &mut self,
+        symbol: SymbolId,
+        name: &str,
+        value: PropertyValue,
+    ) -> Result<(), CoreError> {
+        let sym = self
+            .symbols
+            .get_mut(symbol.0.wrapping_sub(1))
+            .ok_or(CoreError::UnknownSymbol(symbol.0))?;
+        sym.properties.insert(name.to_string(), value);
+        Ok(())
+    }
+
+    /// Number of symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Symbol by id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownSymbol`] for a foreign id.
+    pub fn symbol(&self, id: SymbolId) -> Result<&Symbol, CoreError> {
+        self.symbols
+            .get(id.0.wrapping_sub(1))
+            .ok_or(CoreError::UnknownSymbol(id.0))
+    }
+
+    /// Iterates over all symbols in id order.
+    pub fn symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter()
+    }
+
+    /// Resolves a named port of a symbol into a [`PortRef`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownSymbol`] / [`CoreError::NotFound`] as applicable.
+    pub fn port(&self, symbol: SymbolId, port_name: &str) -> Result<PortRef, CoreError> {
+        let sym = self.symbol(symbol)?;
+        let port = sym
+            .port_index(port_name)
+            .ok_or_else(|| CoreError::NotFound(format!("port {port_name} on {sym}")))?;
+        Ok(PortRef { symbol, port })
+    }
+
+    fn validate_port(&self, p: PortRef) -> Result<PortDirection, CoreError> {
+        let sym = self.symbol(p.symbol)?;
+        let ports = sym.ports();
+        let spec = ports.get(p.port).ok_or(CoreError::UnknownPort {
+            symbol: p.symbol.0,
+            port: p.port,
+        })?;
+        Ok(spec.direction)
+    }
+
+    fn net_output_count(&self, net: &Net) -> usize {
+        net.ports
+            .iter()
+            .filter(|p| {
+                matches!(
+                    self.validate_port(**p),
+                    Ok(PortDirection::Output)
+                )
+            })
+            .count()
+    }
+
+    /// Connects two ports, creating or merging nets.
+    ///
+    /// The §3.2 single-driver rule is enforced eagerly: a (signal) net may
+    /// carry at most one output port.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::IllegalConnection`] on a second driver;
+    /// [`CoreError::UnknownSymbol`]/[`CoreError::UnknownPort`] for bad refs.
+    pub fn connect(&mut self, a: PortRef, b: PortRef) -> Result<NetId, CoreError> {
+        self.validate_port(a)?;
+        self.validate_port(b)?;
+        let net_a = self.port_net.get(&a).copied();
+        let net_b = self.port_net.get(&b).copied();
+        let id = match (net_a, net_b) {
+            (None, None) => {
+                let id = NetId(self.nets.len());
+                self.nets.push(Some(Net {
+                    id,
+                    name: None,
+                    ports: vec![a, b],
+                }));
+                self.port_net.insert(a, id);
+                self.port_net.insert(b, id);
+                id
+            }
+            (Some(na), None) => {
+                self.net_mut(na).ports.push(b);
+                self.port_net.insert(b, na);
+                na
+            }
+            (None, Some(nb)) => {
+                self.net_mut(nb).ports.push(a);
+                self.port_net.insert(a, nb);
+                nb
+            }
+            (Some(na), Some(nb)) if na == nb => na,
+            (Some(na), Some(nb)) => {
+                // Merge nb into na.
+                let moved = self.nets[nb.0].take().expect("net exists").ports;
+                for p in &moved {
+                    self.port_net.insert(*p, na);
+                }
+                self.net_mut(na).ports.extend(moved);
+                na
+            }
+        };
+        let net = self.nets[id.0].as_ref().expect("net exists");
+        if self.net_output_count(net) > 1 {
+            return Err(CoreError::IllegalConnection(format!(
+                "net {} would have more than one driving output port",
+                id.0
+            )));
+        }
+        Ok(id)
+    }
+
+    /// Names a net (for rendering and code-generation readability).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for a dangling net id.
+    pub fn name_net(&mut self, net: NetId, name: &str) -> Result<(), CoreError> {
+        match self.nets.get_mut(net.0).and_then(Option::as_mut) {
+            Some(n) => {
+                n.name = Some(name.to_string());
+                Ok(())
+            }
+            None => Err(CoreError::NotFound(format!("net {}", net.0))),
+        }
+    }
+
+    fn net_mut(&mut self, id: NetId) -> &mut Net {
+        self.nets[id.0].as_mut().expect("net exists")
+    }
+
+    /// Iterates over live nets.
+    pub fn nets(&self) -> impl Iterator<Item = &Net> {
+        self.nets.iter().filter_map(Option::as_ref)
+    }
+
+    /// The net a port is connected to, if any.
+    pub fn net_of(&self, port: PortRef) -> Option<&Net> {
+        self.port_net
+            .get(&port)
+            .and_then(|id| self.nets[id.0].as_ref())
+    }
+
+    /// Exposes an internal port as an external interface port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid port references.
+    pub fn expose(&mut self, name: &str, inner: PortRef) -> Result<(), CoreError> {
+        let direction = self.validate_port(inner)?;
+        let sym = self.symbol(inner.symbol)?;
+        let dimension = sym.ports()[inner.port].dimension;
+        self.interface.push(InterfacePort {
+            name: name.to_string(),
+            direction,
+            dimension,
+            inner,
+        });
+        Ok(())
+    }
+
+    /// External interface ports (for hierarchical use).
+    pub fn interface(&self) -> &[InterfacePort] {
+        &self.interface
+    }
+
+    /// Declares a model parameter with its default value.
+    pub fn add_parameter(&mut self, name: &str, default: f64, dimension: Dimension) {
+        self.parameters.push(ParameterDecl {
+            name: name.to_string(),
+            default,
+            dimension,
+        });
+    }
+
+    /// Declared parameters.
+    pub fn parameters(&self) -> &[ParameterDecl] {
+        &self.parameters
+    }
+
+    /// All pin symbols (in id order) with their external names.
+    pub fn pins(&self) -> Vec<(SymbolId, String)> {
+        self.symbols
+            .iter()
+            .filter_map(|s| match &s.kind {
+                SymbolKind::Pin { name } => Some((SymbolId(s.id), name.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Merges `other` into `self`, renumbering its symbols and nets.
+    /// Returns the symbol-id offset: `other`'s symbol `SymbolId(k)` becomes
+    /// `SymbolId(k + offset)`.
+    ///
+    /// Interface ports and parameters of `other` are appended (names are
+    /// kept; callers compose uniquely-named fragments).
+    pub fn merge(&mut self, other: FunctionalDiagram) -> usize {
+        self.merge_with_interface(other, true)
+    }
+
+    /// Merge used by hierarchy flattening: inner interfaces are spliced,
+    /// not re-exposed.
+    pub(crate) fn merge_internal(&mut self, other: FunctionalDiagram) -> usize {
+        self.merge_with_interface(other, false)
+    }
+
+    fn merge_with_interface(&mut self, other: FunctionalDiagram, keep_interface: bool) -> usize {
+        let offset = self.symbols.len();
+        for mut sym in other.symbols {
+            sym.id += offset;
+            self.symbols.push(sym);
+        }
+        let net_offset = self.nets.len();
+        for net in other.nets.into_iter().flatten() {
+            let id = NetId(net.id.0 + net_offset);
+            let ports: Vec<PortRef> = net
+                .ports
+                .iter()
+                .map(|p| PortRef {
+                    symbol: SymbolId(p.symbol.0 + offset),
+                    port: p.port,
+                })
+                .collect();
+            for p in &ports {
+                self.port_net.insert(*p, id);
+            }
+            self.nets.push(Some(Net {
+                id,
+                name: net.name,
+                ports,
+            }));
+        }
+        // Rebuild any gaps so net ids stay aligned with vec indices.
+        while self.nets.len() < net_offset {
+            self.nets.push(None);
+        }
+        if keep_interface {
+            for itf in other.interface {
+                self.interface.push(InterfacePort {
+                    inner: PortRef {
+                        symbol: SymbolId(itf.inner.symbol.0 + offset),
+                        port: itf.inner.port,
+                    },
+                    ..itf
+                });
+            }
+        }
+        for p in other.parameters {
+            if !self.parameters.iter().any(|q| q.name == p.name) {
+                self.parameters.push(p);
+            }
+        }
+        offset
+    }
+
+    /// Looks up an interface port by name.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] if absent.
+    pub fn interface_port(&self, name: &str) -> Result<&InterfacePort, CoreError> {
+        self.interface
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| CoreError::NotFound(format!("interface port {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::FuncKind;
+
+    fn gain_chain() -> (FunctionalDiagram, SymbolId, SymbolId) {
+        let mut d = FunctionalDiagram::new("chain");
+        let g1 = d.add_symbol(SymbolKind::Gain);
+        let g2 = d.add_symbol(SymbolKind::Gain);
+        let out1 = d.port(g1, "out").unwrap();
+        let in2 = d.port(g2, "in").unwrap();
+        d.connect(out1, in2).unwrap();
+        (d, g1, g2)
+    }
+
+    #[test]
+    fn ids_are_one_based_and_sequential() {
+        let mut d = FunctionalDiagram::new("x");
+        assert_eq!(d.add_symbol(SymbolKind::Gain), SymbolId(1));
+        assert_eq!(d.add_symbol(SymbolKind::Gain), SymbolId(2));
+        assert_eq!(d.symbol_count(), 2);
+    }
+
+    #[test]
+    fn connect_creates_net() {
+        let (d, g1, g2) = gain_chain();
+        assert_eq!(d.nets().count(), 1);
+        let net = d.net_of(d.port(g1, "out").unwrap()).unwrap();
+        assert_eq!(net.ports.len(), 2);
+        assert!(d.net_of(d.port(g2, "out").unwrap()).is_none());
+    }
+
+    #[test]
+    fn single_driver_rule_enforced() {
+        let mut d = FunctionalDiagram::new("bad");
+        let g1 = d.add_symbol(SymbolKind::Gain);
+        let g2 = d.add_symbol(SymbolKind::Gain);
+        let g3 = d.add_symbol(SymbolKind::Gain);
+        let in3 = d.port(g3, "in").unwrap();
+        d.connect(d.port(g1, "out").unwrap(), in3).unwrap();
+        let err = d
+            .connect(d.port(g2, "out").unwrap(), in3)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::IllegalConnection(_)));
+    }
+
+    #[test]
+    fn net_merging() {
+        let mut d = FunctionalDiagram::new("merge");
+        let g1 = d.add_symbol(SymbolKind::Gain);
+        let a1 = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, true],
+        });
+        let f1 = d.add_symbol(SymbolKind::Function {
+            func: FuncKind::Sin,
+        });
+        // Connect g1.out → adder.in0 and separately g1.out → sin.in0: the
+        // two nets must merge into one three-port net.
+        let out = d.port(g1, "out").unwrap();
+        d.connect(out, d.port(a1, "in0").unwrap()).unwrap();
+        d.connect(out, d.port(f1, "in0").unwrap()).unwrap();
+        assert_eq!(d.nets().count(), 1);
+        assert_eq!(d.net_of(out).unwrap().ports.len(), 3);
+    }
+
+    #[test]
+    fn merge_two_fanins_detects_double_driver() {
+        let mut d = FunctionalDiagram::new("dd");
+        let g1 = d.add_symbol(SymbolKind::Gain);
+        let g2 = d.add_symbol(SymbolKind::Gain);
+        let a = d.add_symbol(SymbolKind::Adder {
+            signs: vec![true, true],
+        });
+        d.connect(d.port(g1, "out").unwrap(), d.port(a, "in0").unwrap())
+            .unwrap();
+        d.connect(d.port(g2, "out").unwrap(), d.port(a, "in1").unwrap())
+            .unwrap();
+        // Now join in0 and in1 — this would merge two driven nets.
+        let err = d
+            .connect(d.port(a, "in0").unwrap(), d.port(a, "in1").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::IllegalConnection(_)));
+    }
+
+    #[test]
+    fn pin_nets_allow_multiple_attachments() {
+        let mut d = FunctionalDiagram::new("pins");
+        let pin = d.add_symbol(SymbolKind::Pin { name: "in".into() });
+        let probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        });
+        let gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        });
+        let pp = d.port(pin, "pin").unwrap();
+        d.connect(pp, d.port(probe, "pin").unwrap()).unwrap();
+        d.connect(pp, d.port(gen, "pin").unwrap()).unwrap();
+        assert_eq!(d.net_of(pp).unwrap().ports.len(), 3);
+    }
+
+    #[test]
+    fn expose_and_lookup_interface() {
+        let (mut d, g1, _) = gain_chain();
+        d.expose("u", d.port(g1, "in").unwrap()).unwrap();
+        let itf = d.interface_port("u").unwrap();
+        assert_eq!(itf.direction, PortDirection::Input);
+        assert!(d.interface_port("v").is_err());
+    }
+
+    #[test]
+    fn parameters_declared() {
+        let mut d = FunctionalDiagram::new("p");
+        d.add_parameter("gin", 1e-6, Dimension::CONDUCTANCE);
+        assert_eq!(d.parameters().len(), 1);
+        assert_eq!(d.parameters()[0].default, 1e-6);
+    }
+
+    #[test]
+    fn merge_renumbers() {
+        let (mut d, _, _) = gain_chain();
+        let (d2, _, _) = gain_chain();
+        let before_nets = d.nets().count();
+        let offset = d.merge(d2);
+        assert_eq!(offset, 2);
+        assert_eq!(d.symbol_count(), 4);
+        assert_eq!(d.nets().count(), before_nets + 1);
+        // Connectivity of the merged copy is intact: symbol 3's out drives
+        // symbol 4's in.
+        let out3 = d.port(SymbolId(3), "out").unwrap();
+        let net = d.net_of(out3).unwrap();
+        assert!(net
+            .ports
+            .iter()
+            .any(|p| p.symbol == SymbolId(4) && p.port == 0));
+    }
+
+    #[test]
+    fn pins_listing() {
+        let mut d = FunctionalDiagram::new("pl");
+        d.add_symbol(SymbolKind::Pin { name: "a".into() });
+        d.add_symbol(SymbolKind::Gain);
+        d.add_symbol(SymbolKind::Pin { name: "b".into() });
+        let pins = d.pins();
+        assert_eq!(pins.len(), 2);
+        assert_eq!(pins[0].1, "a");
+        assert_eq!(pins[1].0, SymbolId(3));
+    }
+
+    #[test]
+    fn bad_refs_rejected() {
+        let mut d = FunctionalDiagram::new("bad");
+        let g = d.add_symbol(SymbolKind::Gain);
+        assert!(d.symbol(SymbolId(9)).is_err());
+        assert!(d.port(g, "zz").is_err());
+        let bad = PortRef {
+            symbol: g,
+            port: 99,
+        };
+        assert!(d.connect(bad, bad).is_err());
+        assert!(d.set_property(SymbolId(9), "a", PropertyValue::Number(1.0)).is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! Model libraries: behavioural models plus implementation-dependent
+//! parameter sets.
+//!
+//! The paper's meet-in-the-middle workflow (§1): "specialists create
+//! behavioural macro-models of existing functional blocks, accompanied by
+//! sets of implementation-dependent parameters, which can then be used by
+//! less experienced users through high-level selection and specification
+//! tools." A [`ModelLibrary`] stores [`ModelEntry`]s — card + diagram + any
+//! number of named parameter sets, each representing one known electrical
+//! implementation — and supports selection by required characteristics
+//! (§1c: "some help should be provided to the user in the selection of the
+//! appropriate model according to his specification").
+
+use crate::card::DefinitionCard;
+use crate::diagram::FunctionalDiagram;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One named set of extracted parameter values — the link between a
+/// behavioural model and a concrete circuit implementation ("the circuit is
+/// realizable in the limits of extracted parameters").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSet {
+    /// Implementation name (e.g. `"cmos_1um_lp"`).
+    pub name: String,
+    /// Parameter values, keyed by card parameter name.
+    pub values: BTreeMap<String, f64>,
+    /// Provenance note (measurement, electrical simulation, …) — §2b: values
+    /// "extracted from the circuit through electrical simulation or
+    /// measurement in laboratory".
+    pub provenance: String,
+}
+
+/// A library entry: the three views of a model plus its parameter sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEntry {
+    /// External view.
+    pub card: DefinitionCard,
+    /// Behavioural view.
+    pub diagram: FunctionalDiagram,
+    /// Known implementations.
+    pub parameter_sets: Vec<ParameterSet>,
+}
+
+impl ModelEntry {
+    /// Creates an entry after verifying card/diagram coherence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DefinitionCard::matches_diagram`] failures.
+    pub fn new(card: DefinitionCard, diagram: FunctionalDiagram) -> Result<Self, CoreError> {
+        card.matches_diagram(&diagram)?;
+        Ok(ModelEntry {
+            card,
+            diagram,
+            parameter_sets: Vec::new(),
+        })
+    }
+
+    /// Adds a parameter set; unknown parameter names are rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for a value keyed by an undeclared parameter.
+    pub fn add_parameter_set(&mut self, set: ParameterSet) -> Result<(), CoreError> {
+        for key in set.values.keys() {
+            self.card.parameter(key)?;
+        }
+        self.parameter_sets.push(set);
+        Ok(())
+    }
+
+    /// Resolved parameter values for the named set: card defaults overlaid
+    /// with the set's values.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotFound`] for an unknown set name.
+    pub fn resolved_parameters(&self, set_name: &str) -> Result<BTreeMap<String, f64>, CoreError> {
+        let set = self
+            .parameter_sets
+            .iter()
+            .find(|s| s.name == set_name)
+            .ok_or_else(|| CoreError::NotFound(format!("parameter set {set_name}")))?;
+        let mut out: BTreeMap<String, f64> = self
+            .card
+            .parameters()
+            .iter()
+            .map(|p| (p.name.clone(), p.default))
+            .collect();
+        for (k, v) in &set.values {
+            out.insert(k.clone(), *v);
+        }
+        Ok(out)
+    }
+
+    /// Default parameter values from the card.
+    pub fn default_parameters(&self) -> BTreeMap<String, f64> {
+        self.card
+            .parameters()
+            .iter()
+            .map(|p| (p.name.clone(), p.default))
+            .collect()
+    }
+}
+
+/// A searchable collection of model entries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelLibrary {
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        ModelLibrary::default()
+    }
+
+    /// Adds an entry.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadCard`] if a model of the same name already exists.
+    pub fn add(&mut self, entry: ModelEntry) -> Result<(), CoreError> {
+        if self.find(entry.card.name()).is_some() {
+            return Err(CoreError::BadCard(format!(
+                "model {} already in library",
+                entry.card.name()
+            )));
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by model name.
+    pub fn find(&self, name: &str) -> Option<&ModelEntry> {
+        self.entries.iter().find(|e| e.card.name() == name)
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &ModelEntry> {
+        self.entries.iter()
+    }
+
+    /// Selects models whose cards list every requested characteristic —
+    /// the high-level selection step of the paper's workflow.
+    pub fn select_by_characteristics<'a>(
+        &'a self,
+        required: &'a [&str],
+    ) -> impl Iterator<Item = &'a ModelEntry> + 'a {
+        self.entries.iter().filter(move |e| {
+            required.iter().all(|r| {
+                e.card
+                    .characteristics()
+                    .iter()
+                    .any(|c| c.name.eq_ignore_ascii_case(r))
+            })
+        })
+    }
+
+    /// Selects models with a pin of every requested name.
+    pub fn select_by_pins<'a>(
+        &'a self,
+        required: &'a [&str],
+    ) -> impl Iterator<Item = &'a ModelEntry> + 'a {
+        self.entries.iter().filter(move |e| {
+            required
+                .iter()
+                .all(|r| e.card.pins().iter().any(|p| p.name == *r))
+        })
+    }
+
+    /// Selects `(model, parameter set)` pairs whose *resolved* parameter
+    /// values satisfy every `(name, min, max)` requirement — the §1c
+    /// selection step with the §1b realizability guarantee: a returned pair
+    /// names a known implementation whose extracted parameters meet the
+    /// specification ("the circuit is realizable in the limits of extracted
+    /// parameters").
+    pub fn select_by_requirements<'a>(
+        &'a self,
+        requirements: &'a [(&str, f64, f64)],
+    ) -> Vec<(&'a ModelEntry, &'a ParameterSet)> {
+        let mut out = Vec::new();
+        for entry in &self.entries {
+            for set in &entry.parameter_sets {
+                let Ok(resolved) = entry.resolved_parameters(&set.name) else {
+                    continue;
+                };
+                let ok = requirements.iter().all(|(name, lo, hi)| {
+                    resolved
+                        .get(*name)
+                        .map(|v| *lo <= *v && *v <= *hi)
+                        .unwrap_or(false)
+                });
+                if ok {
+                    out.push((entry, set));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructs::{InputStageSpec, OutputStageSpec};
+
+    fn entry(spec: &InputStageSpec) -> ModelEntry {
+        ModelEntry::new(spec.card().unwrap(), spec.diagram().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn entry_coherence_checked() {
+        let spec = InputStageSpec::new("in", 1e-6, 5e-12);
+        let other = OutputStageSpec::new("out", 1e-3);
+        // Mismatched card/diagram is rejected.
+        assert!(ModelEntry::new(spec.card().unwrap(), other.diagram().unwrap()).is_err());
+    }
+
+    #[test]
+    fn parameter_sets() {
+        let mut e = entry(&InputStageSpec::new("in", 1e-6, 5e-12));
+        let mut values = BTreeMap::new();
+        values.insert("gin".to_string(), 2e-6);
+        e.add_parameter_set(ParameterSet {
+            name: "cmos_a".into(),
+            values,
+            provenance: "electrical simulation".into(),
+        })
+        .unwrap();
+        let resolved = e.resolved_parameters("cmos_a").unwrap();
+        assert_eq!(resolved["gin"], 2e-6);
+        // cin falls back to the card default.
+        assert_eq!(resolved["cin"], 5e-12);
+        assert!(e.resolved_parameters("zz").is_err());
+    }
+
+    #[test]
+    fn unknown_parameter_in_set_rejected() {
+        let mut e = entry(&InputStageSpec::new("in", 1e-6, 5e-12));
+        let mut values = BTreeMap::new();
+        values.insert("bogus".to_string(), 1.0);
+        assert!(e
+            .add_parameter_set(ParameterSet {
+                name: "x".into(),
+                values,
+                provenance: String::new(),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn library_add_find_select() {
+        let mut lib = ModelLibrary::new();
+        lib.add(entry(&InputStageSpec::new("in", 1e-6, 5e-12)))
+            .unwrap();
+        let out_spec = OutputStageSpec::new("out", 1e-3).with_current_limit(1e-2);
+        lib.add(ModelEntry::new(out_spec.card().unwrap(), out_spec.diagram().unwrap()).unwrap())
+            .unwrap();
+        assert_eq!(lib.len(), 2);
+        assert!(lib.find("input_stage_in").is_some());
+        assert!(lib.find("zz").is_none());
+        let by_char: Vec<_> = lib
+            .select_by_characteristics(&["output impedance"])
+            .collect();
+        assert_eq!(by_char.len(), 1);
+        let by_both: Vec<_> = lib
+            .select_by_characteristics(&["output impedance", "current limitation"])
+            .collect();
+        assert_eq!(by_both.len(), 1);
+        let none: Vec<_> = lib.select_by_characteristics(&["psrr"]).collect();
+        assert!(none.is_empty());
+        let by_pin: Vec<_> = lib.select_by_pins(&["out"]).collect();
+        assert_eq!(by_pin.len(), 1);
+    }
+
+    #[test]
+    fn selection_by_requirements() {
+        let mut lib = ModelLibrary::new();
+        let mut e = entry(&InputStageSpec::new("in", 1e-6, 5e-12));
+        for (name, gin) in [("proc_a", 0.8e-6), ("proc_b", 2.0e-6)] {
+            let mut values = BTreeMap::new();
+            values.insert("gin".to_string(), gin);
+            e.add_parameter_set(ParameterSet {
+                name: name.into(),
+                values,
+                provenance: "extraction".into(),
+            })
+            .unwrap();
+        }
+        lib.add(e).unwrap();
+        // Spec: input resistance >= 1 MΩ ⇔ gin in [0, 1e-6].
+        let hits = lib.select_by_requirements(&[("gin", 0.0, 1.0e-6)]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.name, "proc_a");
+        // Both sets satisfy a loose requirement.
+        let hits = lib.select_by_requirements(&[("gin", 0.0, 1.0e-5)]);
+        assert_eq!(hits.len(), 2);
+        // An unknown parameter never matches.
+        assert!(lib.select_by_requirements(&[("zz", 0.0, 1.0)]).is_empty());
+        // Multiple requirements are conjunctive.
+        let hits = lib.select_by_requirements(&[
+            ("gin", 0.0, 1.0e-5),
+            ("cin", 4.0e-12, 6.0e-12),
+        ]);
+        assert_eq!(hits.len(), 2, "cin comes from the card default");
+    }
+
+    #[test]
+    fn duplicate_model_rejected() {
+        let mut lib = ModelLibrary::new();
+        lib.add(entry(&InputStageSpec::new("in", 1e-6, 5e-12)))
+            .unwrap();
+        assert!(lib
+            .add(entry(&InputStageSpec::new("in", 1e-6, 5e-12)))
+            .is_err());
+        assert!(!lib.is_empty());
+    }
+}

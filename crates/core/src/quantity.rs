@@ -1,0 +1,301 @@
+//! Physical quantities: the "oil and water will not mix" rule.
+//!
+//! §3.2 of the paper: *"Internal variables may still carry information about
+//! specific physical quantities, it is important, thus, to apply mathematical
+//! operators on signals in a meaningful way."* Every net in a functional
+//! diagram can carry a [`Dimension`] — a vector of SI base-unit exponents —
+//! and the consistency check propagates and compares them.
+//!
+//! Using full SI base dimensions (rather than an electrical-only enum) is
+//! what lets the same formalism model sensors and actuators: torque
+//! (kg·m²·s⁻²) and angular velocity (s⁻¹) are first-class, as §3.1a's
+//! "torque, angular velocity probes and generators" require.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Div, Mul};
+
+/// A physical dimension as SI base-unit exponents (m, kg, s, A, K).
+///
+/// # Example
+///
+/// ```
+/// use gabm_core::quantity::Dimension;
+///
+/// let power = Dimension::VOLTAGE * Dimension::CURRENT;
+/// assert_eq!(power, Dimension::POWER);
+/// let current = Dimension::VOLTAGE * Dimension::CONDUCTANCE;
+/// assert_eq!(current, Dimension::CURRENT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Dimension {
+    /// Metre exponent.
+    pub m: i8,
+    /// Kilogram exponent.
+    pub kg: i8,
+    /// Second exponent.
+    pub s: i8,
+    /// Ampere exponent.
+    pub a: i8,
+    /// Kelvin exponent.
+    pub k: i8,
+}
+
+impl Dimension {
+    /// Dimensionless (pure number).
+    pub const NONE: Dimension = Dimension::new(0, 0, 0, 0, 0);
+    /// Volt = kg·m²·s⁻³·A⁻¹.
+    pub const VOLTAGE: Dimension = Dimension::new(2, 1, -3, -1, 0);
+    /// Ampere.
+    pub const CURRENT: Dimension = Dimension::new(0, 0, 0, 1, 0);
+    /// Coulomb = A·s.
+    pub const CHARGE: Dimension = Dimension::new(0, 0, 1, 1, 0);
+    /// Second.
+    pub const TIME: Dimension = Dimension::new(0, 0, 1, 0, 0);
+    /// Hertz = s⁻¹.
+    pub const FREQUENCY: Dimension = Dimension::new(0, 0, -1, 0, 0);
+    /// Ohm = V/A.
+    pub const RESISTANCE: Dimension = Dimension::new(2, 1, -3, -2, 0);
+    /// Siemens = A/V.
+    pub const CONDUCTANCE: Dimension = Dimension::new(-2, -1, 3, 2, 0);
+    /// Farad = C/V.
+    pub const CAPACITANCE: Dimension = Dimension::new(-2, -1, 4, 2, 0);
+    /// Henry = V·s/A.
+    pub const INDUCTANCE: Dimension = Dimension::new(2, 1, -2, -2, 0);
+    /// Watt = V·A.
+    pub const POWER: Dimension = Dimension::new(2, 1, -3, 0, 0);
+    /// Kelvin.
+    pub const TEMPERATURE: Dimension = Dimension::new(0, 0, 0, 0, 1);
+    /// Newton-metre = kg·m²·s⁻².
+    pub const TORQUE: Dimension = Dimension::new(2, 1, -2, 0, 0);
+    /// Radian/second = s⁻¹ (radians are dimensionless).
+    pub const ANGULAR_VELOCITY: Dimension = Dimension::new(0, 0, -1, 0, 0);
+    /// Volt/second — slope of a voltage signal.
+    pub const VOLTAGE_RATE: Dimension = Dimension::new(2, 1, -4, -1, 0);
+
+    /// Creates a dimension from raw exponents.
+    pub const fn new(m: i8, kg: i8, s: i8, a: i8, k: i8) -> Self {
+        Dimension { m, kg, s, a, k }
+    }
+
+    /// `true` if dimensionless.
+    pub fn is_none(&self) -> bool {
+        *self == Dimension::NONE
+    }
+
+    /// Dimension of this quantity's time derivative (÷ s).
+    pub fn per_time(self) -> Dimension {
+        Dimension {
+            s: self.s - 1,
+            ..self
+        }
+    }
+
+    /// Dimension of this quantity's time integral (× s).
+    pub fn times_time(self) -> Dimension {
+        Dimension {
+            s: self.s + 1,
+            ..self
+        }
+    }
+
+    /// Well-known name of the dimension, if it has one.
+    pub fn canonical_name(&self) -> Option<&'static str> {
+        // TORQUE and POWER share exponents only if their formulas coincide;
+        // they do not (torque has s⁻², power s⁻³), so the match is exact.
+        match *self {
+            Dimension::NONE => Some("dimensionless"),
+            Dimension::VOLTAGE => Some("voltage"),
+            Dimension::CURRENT => Some("current"),
+            Dimension::CHARGE => Some("charge"),
+            Dimension::TIME => Some("time"),
+            // FREQUENCY and ANGULAR_VELOCITY share s⁻¹.
+            Dimension::FREQUENCY => Some("frequency"),
+            Dimension::RESISTANCE => Some("resistance"),
+            Dimension::CONDUCTANCE => Some("conductance"),
+            Dimension::CAPACITANCE => Some("capacitance"),
+            Dimension::INDUCTANCE => Some("inductance"),
+            Dimension::POWER => Some("power"),
+            Dimension::TEMPERATURE => Some("temperature"),
+            Dimension::TORQUE => Some("torque"),
+            Dimension::VOLTAGE_RATE => Some("voltage rate"),
+            _ => None,
+        }
+    }
+}
+
+impl Mul for Dimension {
+    type Output = Dimension;
+    fn mul(self, rhs: Dimension) -> Dimension {
+        Dimension {
+            m: self.m + rhs.m,
+            kg: self.kg + rhs.kg,
+            s: self.s + rhs.s,
+            a: self.a + rhs.a,
+            k: self.k + rhs.k,
+        }
+    }
+}
+
+impl Div for Dimension {
+    type Output = Dimension;
+    fn div(self, rhs: Dimension) -> Dimension {
+        Dimension {
+            m: self.m - rhs.m,
+            kg: self.kg - rhs.kg,
+            s: self.s - rhs.s,
+            a: self.a - rhs.a,
+            k: self.k - rhs.k,
+        }
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = self.canonical_name() {
+            return write!(f, "{name}");
+        }
+        let mut parts = Vec::new();
+        for (sym, e) in [
+            ("m", self.m),
+            ("kg", self.kg),
+            ("s", self.s),
+            ("A", self.a),
+            ("K", self.k),
+        ] {
+            match e {
+                0 => {}
+                1 => parts.push(sym.to_string()),
+                _ => parts.push(format!("{sym}^{e}")),
+            }
+        }
+        write!(f, "{}", parts.join("·"))
+    }
+}
+
+/// A value paired with its dimension — used by definition-card parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantity {
+    /// Numeric value in SI units.
+    pub value: f64,
+    /// Physical dimension.
+    pub dimension: Dimension,
+}
+
+impl Quantity {
+    /// Creates a quantity.
+    pub fn new(value: f64, dimension: Dimension) -> Self {
+        Quantity { value, dimension }
+    }
+
+    /// A dimensionless number.
+    pub fn number(value: f64) -> Self {
+        Quantity::new(value, Dimension::NONE)
+    }
+
+    /// Volts shorthand.
+    pub fn volts(value: f64) -> Self {
+        Quantity::new(value, Dimension::VOLTAGE)
+    }
+
+    /// Amps shorthand.
+    pub fn amps(value: f64) -> Self {
+        Quantity::new(value, Dimension::CURRENT)
+    }
+
+    /// Ohms shorthand.
+    pub fn ohms(value: f64) -> Self {
+        Quantity::new(value, Dimension::RESISTANCE)
+    }
+
+    /// Siemens shorthand.
+    pub fn siemens(value: f64) -> Self {
+        Quantity::new(value, Dimension::CONDUCTANCE)
+    }
+
+    /// Farads shorthand.
+    pub fn farads(value: f64) -> Self {
+        Quantity::new(value, Dimension::CAPACITANCE)
+    }
+
+    /// Volts-per-second shorthand (slew rates).
+    pub fn volts_per_second(value: f64) -> Self {
+        Quantity::new(value, Dimension::VOLTAGE_RATE)
+    }
+}
+
+impl fmt::Display for Quantity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dimension.is_none() {
+            write!(f, "{}", self.value)
+        } else {
+            write!(f, "{} [{}]", self.value, self.dimension)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_dimensions() {
+        assert_eq!(Dimension::VOLTAGE / Dimension::RESISTANCE, Dimension::CURRENT);
+        assert_eq!(Dimension::CURRENT * Dimension::RESISTANCE, Dimension::VOLTAGE);
+        assert_eq!(Dimension::VOLTAGE * Dimension::CONDUCTANCE, Dimension::CURRENT);
+    }
+
+    #[test]
+    fn capacitor_current_dimension() {
+        // i = C · dv/dt.
+        let dv_dt = Dimension::VOLTAGE.per_time();
+        assert_eq!(Dimension::CAPACITANCE * dv_dt, Dimension::CURRENT);
+    }
+
+    #[test]
+    fn charge_is_current_times_time() {
+        assert_eq!(Dimension::CURRENT.times_time(), Dimension::CHARGE);
+        assert_eq!(Dimension::CHARGE.per_time(), Dimension::CURRENT);
+    }
+
+    #[test]
+    fn torque_and_power_differ() {
+        assert_ne!(Dimension::TORQUE, Dimension::POWER);
+        // P = τ·ω.
+        assert_eq!(
+            Dimension::TORQUE * Dimension::ANGULAR_VELOCITY,
+            Dimension::POWER
+        );
+    }
+
+    #[test]
+    fn oil_and_water_do_not_mix() {
+        // The core rule: voltage and current are simply different dimensions.
+        assert_ne!(Dimension::VOLTAGE, Dimension::CURRENT);
+        assert_ne!(Dimension::VOLTAGE, Dimension::TORQUE);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dimension::VOLTAGE.to_string(), "voltage");
+        assert_eq!(Dimension::NONE.to_string(), "dimensionless");
+        // An anonymous dimension prints exponents.
+        let odd = Dimension::new(1, 0, 0, 0, 0);
+        assert_eq!(odd.to_string(), "m");
+        let odd2 = Dimension::new(3, -1, 0, 0, 0);
+        assert!(odd2.to_string().contains("m^3"));
+    }
+
+    #[test]
+    fn quantity_constructors() {
+        assert_eq!(Quantity::volts(5.0).dimension, Dimension::VOLTAGE);
+        assert_eq!(Quantity::ohms(50.0).dimension, Dimension::RESISTANCE);
+        assert_eq!(Quantity::number(2.0).to_string(), "2");
+        assert!(Quantity::amps(1.0).to_string().contains("current"));
+    }
+
+    #[test]
+    fn slew_rate_dimension() {
+        assert_eq!(Dimension::VOLTAGE.per_time(), Dimension::VOLTAGE_RATE);
+    }
+}

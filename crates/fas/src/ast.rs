@@ -1,0 +1,184 @@
+//! Abstract syntax tree of a FAS model.
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Comparison operators in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl RelOp {
+    /// Applies the comparison.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            RelOp::Eq => a == b,
+            RelOp::Ne => a != b,
+            RelOp::Lt => a < b,
+            RelOp::Le => a <= b,
+            RelOp::Gt => a > b,
+            RelOp::Ge => a >= b,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable / parameter / builtin reference.
+    Var(String),
+    /// Pin access such as `volt.value(in)`.
+    PinValue {
+        /// Access prefix (`volt`, `omega`, `temp`).
+        quantity: String,
+        /// Pin name.
+        pin: String,
+    },
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Intrinsic function call (`sin`, `limit`, `max`, …).
+    Call {
+        /// Function name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `state.dt(expr)` — time derivative.
+    StateDt {
+        /// Per-model instance index (assigned by the parser).
+        inst: usize,
+        /// Differentiated expression.
+        arg: Box<Expr>,
+    },
+    /// `state.delay(var)` — value of `var` at the previous accepted point.
+    StateDelay {
+        /// Delayed variable name.
+        var: String,
+    },
+    /// `state.delayt(var, td)` — value of `var` a fixed time ago.
+    StateDelayT {
+        /// Instance index.
+        inst: usize,
+        /// Delayed variable name.
+        var: String,
+        /// Delay time expression.
+        td: Box<Expr>,
+    },
+    /// `state.idt(expr)` — running time integral.
+    StateIdt {
+        /// Instance index.
+        inst: usize,
+        /// Integrated expression.
+        arg: Box<Expr>,
+    },
+}
+
+/// A condition of an `if` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `mode = dc` (`true`) or `mode = tran` (`false`).
+    ModeIs {
+        /// Whether the tested mode is DC.
+        dc: bool,
+    },
+    /// Numeric comparison.
+    Cmp(RelOp, Expr, Expr),
+}
+
+/// A statement of the analog body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `make var = expr`.
+    Make {
+        /// Target variable.
+        var: String,
+        /// Value expression.
+        expr: Expr,
+    },
+    /// `make curr.on(pin) = expr` — impose a through quantity.
+    Impose {
+        /// Access prefix (`curr`, `torque`, `heat`).
+        quantity: String,
+        /// Pin name.
+        pin: String,
+        /// Imposed expression.
+        expr: Expr,
+    },
+    /// `if (cond) then … [else …] endif`.
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Taken when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Taken otherwise.
+        else_branch: Vec<Stmt>,
+    },
+}
+
+/// A parsed model file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    /// Model name.
+    pub name: String,
+    /// Pin names in declaration order (= device pin order).
+    pub pins: Vec<String>,
+    /// Parameters with default values.
+    pub params: Vec<(String, f64)>,
+    /// Analog body statements.
+    pub body: Vec<Stmt>,
+    /// Number of `state.dt` instances.
+    pub n_dt: usize,
+    /// Number of `state.delayt` instances.
+    pub n_delayt: usize,
+    /// Number of `state.idt` instances.
+    pub n_idt: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relop_apply() {
+        assert!(RelOp::Eq.apply(1.0, 1.0));
+        assert!(RelOp::Ne.apply(1.0, 2.0));
+        assert!(RelOp::Lt.apply(1.0, 2.0));
+        assert!(RelOp::Le.apply(2.0, 2.0));
+        assert!(RelOp::Gt.apply(3.0, 2.0));
+        assert!(RelOp::Ge.apply(2.0, 2.0));
+        assert!(!RelOp::Lt.apply(2.0, 1.0));
+    }
+}

@@ -1,0 +1,361 @@
+//! Tokenizer for FAS source text.
+
+use crate::{FasError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `.`.
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// `true` if the token is the given keyword/identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Token::Ident(i) if i == s)
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes the whole input.
+///
+/// Comment syntax: a line whose first non-blank character is `*` or `#` is
+/// skipped (SPICE-style title/comment lines), as is everything after `//`.
+///
+/// # Errors
+///
+/// [`FasError::Lex`] on malformed numbers or unexpected characters.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, FasError> {
+    let mut out = Vec::new();
+    for (line_idx, raw_line) in src.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let trimmed = raw_line.trim_start();
+        if trimmed.starts_with('*') || trimmed.starts_with('#') {
+            continue;
+        }
+        let line = match raw_line.find("//") {
+            Some(p) => &raw_line[..p],
+            None => raw_line,
+        };
+        let bytes = line.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            let pos = Pos {
+                line: line_no,
+                col: i + 1,
+            };
+            match c {
+                ' ' | '\t' | '\r' => {
+                    i += 1;
+                }
+                '(' => {
+                    out.push(Spanned {
+                        token: Token::LParen,
+                        pos,
+                    });
+                    i += 1;
+                }
+                ')' => {
+                    out.push(Spanned {
+                        token: Token::RParen,
+                        pos,
+                    });
+                    i += 1;
+                }
+                ',' => {
+                    out.push(Spanned {
+                        token: Token::Comma,
+                        pos,
+                    });
+                    i += 1;
+                }
+                '+' => {
+                    out.push(Spanned {
+                        token: Token::Plus,
+                        pos,
+                    });
+                    i += 1;
+                }
+                '-' => {
+                    out.push(Spanned {
+                        token: Token::Minus,
+                        pos,
+                    });
+                    i += 1;
+                }
+                '*' => {
+                    out.push(Spanned {
+                        token: Token::Star,
+                        pos,
+                    });
+                    i += 1;
+                }
+                '/' => {
+                    out.push(Spanned {
+                        token: Token::Slash,
+                        pos,
+                    });
+                    i += 1;
+                }
+                '.' => {
+                    out.push(Spanned {
+                        token: Token::Dot,
+                        pos,
+                    });
+                    i += 1;
+                }
+                '=' => {
+                    out.push(Spanned {
+                        token: Token::Eq,
+                        pos,
+                    });
+                    i += 1;
+                }
+                '!' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        out.push(Spanned {
+                            token: Token::Ne,
+                            pos,
+                        });
+                        i += 2;
+                    } else {
+                        return Err(FasError::Lex {
+                            pos,
+                            message: "expected '=' after '!'".into(),
+                        });
+                    }
+                }
+                '<' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        out.push(Spanned {
+                            token: Token::Le,
+                            pos,
+                        });
+                        i += 2;
+                    } else {
+                        out.push(Spanned {
+                            token: Token::Lt,
+                            pos,
+                        });
+                        i += 1;
+                    }
+                }
+                '>' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        out.push(Spanned {
+                            token: Token::Ge,
+                            pos,
+                        });
+                        i += 2;
+                    } else {
+                        out.push(Spanned {
+                            token: Token::Gt,
+                            pos,
+                        });
+                        i += 1;
+                    }
+                }
+                _ if c.is_ascii_digit() => {
+                    let start = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_digit() || bytes[i] == b'.')
+                    {
+                        i += 1;
+                    }
+                    // Exponent part.
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < bytes.len() && bytes[j].is_ascii_digit() {
+                            i = j;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    let text = &line[start..i];
+                    let value: f64 = text.parse().map_err(|_| FasError::Lex {
+                        pos,
+                        message: format!("malformed number '{text}'"),
+                    })?;
+                    out.push(Spanned {
+                        token: Token::Number(value),
+                        pos,
+                    });
+                }
+                _ if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.push(Spanned {
+                        token: Token::Ident(line[start..i].to_string()),
+                        pos,
+                    });
+                }
+                other => {
+                    return Err(FasError::Lex {
+                        pos,
+                        message: format!("unexpected character '{other}'"),
+                    });
+                }
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        pos: Pos {
+            line: src.lines().count() + 1,
+            col: 1,
+        },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("make v2 = volt.value(in)"),
+            vec![
+                Token::Ident("make".into()),
+                Token::Ident("v2".into()),
+                Token::Eq,
+                Token::Ident("volt".into()),
+                Token::Dot,
+                Token::Ident("value".into()),
+                Token::LParen,
+                Token::Ident("in".into()),
+                Token::RParen,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 1e-12 3.0E+2"),
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(1e-12),
+                Token::Number(300.0),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_ident() {
+        // `1e` without digits is the number 1 followed by ident `e`.
+        assert_eq!(
+            toks("1e"),
+            vec![Token::Number(1.0), Token::Ident("e".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <= b >= c != d < e > f"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ge,
+                Token::Ident("c".into()),
+                Token::Ne,
+                Token::Ident("d".into()),
+                Token::Lt,
+                Token::Ident("e".into()),
+                Token::Gt,
+                Token::Ident("f".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("* a title line\nmake x = 1 // trailing\n# hash comment"),
+            vec![
+                Token::Ident("make".into()),
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Number(1.0),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("price: $5").is_err());
+    }
+
+    #[test]
+    fn positions_reported() {
+        let spanned = tokenize("a\n  b").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+}

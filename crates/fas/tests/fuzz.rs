@@ -1,0 +1,87 @@
+//! Robustness: the FAS front end must never panic — any input produces
+//! either a model or a diagnostic.
+
+use gabm_fas::{compile, parse, print_model};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the lexer/parser.
+    #[test]
+    fn parser_total_on_arbitrary_text(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Arbitrary ASCII with FAS-flavoured vocabulary never panics anywhere
+    /// in the pipeline.
+    #[test]
+    fn pipeline_total_on_fas_flavoured_text(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("model".to_string()),
+                Just("pin".to_string()),
+                Just("param".to_string()),
+                Just("analog".to_string()),
+                Just("endanalog".to_string()),
+                Just("endmodel".to_string()),
+                Just("make".to_string()),
+                Just("if".to_string()),
+                Just("then".to_string()),
+                Just("else".to_string()),
+                Just("endif".to_string()),
+                Just("state".to_string()),
+                Just("volt".to_string()),
+                Just("curr".to_string()),
+                Just("mode".to_string()),
+                Just("dc".to_string()),
+                Just("=".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(".".to_string()),
+                Just("+".to_string()),
+                Just("x".to_string()),
+                Just("1.5".to_string()),
+                Just("\n".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = compile(&src);
+    }
+
+    /// Well-formed random straight-line models: parse → print → parse is an
+    /// identity, and compile is total.
+    #[test]
+    fn roundtrip_generated_straight_line_models(
+        exprs in proptest::collection::vec(
+            prop_oneof![
+                Just("volt.value(a)".to_string()),
+                Just("g * v0".to_string()),
+                Just("v0 + 1.0".to_string()),
+                Just("limit(v0, -1.0, 1.0)".to_string()),
+                Just("sin(time)".to_string()),
+                Just("state.dt(v0)".to_string()),
+                Just("state.delay(v0)".to_string()),
+                Just("max(v0, 0.0)".to_string()),
+                Just("-v0 / 2.0".to_string()),
+            ],
+            1..8,
+        )
+    ) {
+        let mut body = String::from("make v0 = volt.value(a)\n");
+        for (k, e) in exprs.iter().enumerate() {
+            body.push_str(&format!("make v{} = {e}\n", k + 1));
+        }
+        body.push_str("make curr.on(a) = v0\n");
+        let src = format!(
+            "model fuzz pin (a) param (g=1e-3)\nanalog\n{body}endanalog\nendmodel\n"
+        );
+        let m1 = parse(&src).expect("generated model parses");
+        let printed = print_model(&m1);
+        let m2 = parse(&printed).expect("printed model parses");
+        prop_assert_eq!(&m1, &m2);
+        prop_assert!(compile(&src).is_ok(), "{}", src);
+    }
+}

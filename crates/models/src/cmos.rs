@@ -1,0 +1,348 @@
+//! Transistor-level CMOS comparator (the paper's SPICE baseline: "a CMOS
+//! comparator described at SPICE level is simulated and the results are
+//! compared … to simulate the circuit (11 MOS)").
+//!
+//! Topology (classic two-stage strobed comparator, 11 transistors):
+//!
+//! * M1/M2 — NMOS differential pair;
+//! * M3/M4 — PMOS current-mirror load;
+//! * M5 — NMOS tail current source, M10 — NMOS strobe switch in series;
+//! * M6 — PMOS common-source second stage, M7 — NMOS current sink;
+//! * M8/M9 — CMOS output inverter;
+//! * M11 — diode-connected NMOS bias generator (with RBIAS from VDD).
+
+use crate::ModelError;
+use gabm_sim::circuit::{Circuit, NodeId};
+use gabm_sim::devices::{MosType, MosfetParams};
+
+/// A representative 1 µm-era CMOS process for the level-1 models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmosProcess {
+    /// NMOS threshold (V).
+    pub vtn: f64,
+    /// PMOS threshold (V, negative).
+    pub vtp: f64,
+    /// NMOS transconductance parameter (A/V²).
+    pub kpn: f64,
+    /// PMOS transconductance parameter (A/V²).
+    pub kpp: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+    /// Gate capacitance per device (F) — lumped constant.
+    pub cg: f64,
+}
+
+impl Default for CmosProcess {
+    fn default() -> Self {
+        CmosProcess {
+            vtn: 0.8,
+            vtp: -0.8,
+            kpn: 60e-6,
+            kpp: 25e-6,
+            lambda: 0.03,
+            cg: 20e-15,
+        }
+    }
+}
+
+impl CmosProcess {
+    fn nmos(&self, w_over_l: f64) -> MosfetParams {
+        MosfetParams {
+            vto: self.vtn,
+            kp: self.kpn,
+            lambda: self.lambda,
+            gamma: 0.0,
+            phi: 0.65,
+            w: w_over_l * 1e-6,
+            l: 1e-6,
+            cgs: self.cg,
+            cgd: self.cg / 2.0,
+            cgb: 0.0,
+        }
+    }
+
+    fn pmos(&self, w_over_l: f64) -> MosfetParams {
+        MosfetParams {
+            vto: self.vtp,
+            kp: self.kpp,
+            lambda: self.lambda,
+            gamma: 0.0,
+            phi: 0.65,
+            w: w_over_l * 1e-6,
+            l: 1e-6,
+            cgs: self.cg,
+            cgd: self.cg / 2.0,
+            cgb: 0.0,
+        }
+    }
+}
+
+/// The 11-transistor CMOS comparator as an instantiable subcircuit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CmosComparator {
+    /// Process parameters.
+    pub process: CmosProcess,
+}
+
+impl CmosComparator {
+    /// Creates the comparator with the default process.
+    pub fn new() -> Self {
+        CmosComparator::default()
+    }
+
+    /// Pin order expected by [`CmosComparator::instantiate`].
+    pub fn pin_order() -> [&'static str; 6] {
+        ["inp", "inn", "strobe", "out", "vdd", "vss"]
+    }
+
+    /// Adds one comparator instance to `ckt`, connected to
+    /// `(inp, inn, strobe, out, vdd, vss)`.
+    ///
+    /// # Errors
+    ///
+    /// Netlist-construction errors.
+    pub fn instantiate(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        nodes: &[NodeId],
+    ) -> Result<(), ModelError> {
+        let [inp, inn, strobe, out, vdd, vss] = nodes else {
+            return Err(ModelError::Sim(gabm_sim::SimError::BadParameter {
+                device: name.to_string(),
+                message: format!("comparator needs 6 nodes, got {}", nodes.len()),
+            }));
+        };
+        let (inp, inn, strobe, out, vdd, vss) = (*inp, *inn, *strobe, *out, *vdd, *vss);
+        let p = &self.process;
+        let n = |suffix: &str, c: &mut Circuit| c.node(&format!("{name}_{suffix}"));
+
+        let d1 = n("d1", ckt);
+        let d2 = n("d2", ckt);
+        let tail = n("tail", ckt);
+        let tail_sw = n("tailsw", ckt);
+        let vbias = n("vbias", ckt);
+        let outi = n("outi", ckt);
+
+        // Bias generator: RBIAS from VDD into diode-connected M11.
+        ckt.add_resistor(&format!("{name}_RBIAS"), vdd, vbias, 100e3)?;
+        ckt.add_mosfet(
+            &format!("{name}_M11"),
+            MosType::Nmos,
+            vbias,
+            vbias,
+            vss,
+            vss,
+            p.nmos(2.0),
+        )?;
+        // Tail source + strobe switch.
+        ckt.add_mosfet(
+            &format!("{name}_M5"),
+            MosType::Nmos,
+            tail_sw,
+            vbias,
+            vss,
+            vss,
+            p.nmos(8.0),
+        )?;
+        ckt.add_mosfet(
+            &format!("{name}_M10"),
+            MosType::Nmos,
+            tail,
+            strobe,
+            tail_sw,
+            vss,
+            p.nmos(16.0),
+        )?;
+        // Differential pair.
+        ckt.add_mosfet(
+            &format!("{name}_M1"),
+            MosType::Nmos,
+            d1,
+            inp,
+            tail,
+            vss,
+            p.nmos(10.0),
+        )?;
+        ckt.add_mosfet(
+            &format!("{name}_M2"),
+            MosType::Nmos,
+            d2,
+            inn,
+            tail,
+            vss,
+            p.nmos(10.0),
+        )?;
+        // Mirror load.
+        ckt.add_mosfet(
+            &format!("{name}_M3"),
+            MosType::Pmos,
+            d1,
+            d1,
+            vdd,
+            vdd,
+            p.pmos(20.0),
+        )?;
+        ckt.add_mosfet(
+            &format!("{name}_M4"),
+            MosType::Pmos,
+            d2,
+            d1,
+            vdd,
+            vdd,
+            p.pmos(20.0),
+        )?;
+        // Second stage.
+        ckt.add_mosfet(
+            &format!("{name}_M6"),
+            MosType::Pmos,
+            outi,
+            d2,
+            vdd,
+            vdd,
+            p.pmos(40.0),
+        )?;
+        ckt.add_mosfet(
+            &format!("{name}_M7"),
+            MosType::Nmos,
+            outi,
+            vbias,
+            vss,
+            vss,
+            p.nmos(16.0),
+        )?;
+        // Output inverter.
+        ckt.add_mosfet(
+            &format!("{name}_M8"),
+            MosType::Pmos,
+            out,
+            outi,
+            vdd,
+            vdd,
+            p.pmos(40.0),
+        )?;
+        ckt.add_mosfet(
+            &format!("{name}_M9"),
+            MosType::Nmos,
+            out,
+            outi,
+            vss,
+            vss,
+            p.nmos(20.0),
+        )?;
+        // Parasitic-ish load keeping internal nodes well defined.
+        ckt.add_capacitor(&format!("{name}_CI"), outi, vss, 50e-15);
+        ckt.add_capacitor(&format!("{name}_CO"), out, vss, 100e-15);
+        Ok(())
+    }
+
+    /// Number of MOS transistors in the circuit (the paper's "11 MOS").
+    pub fn transistor_count(&self) -> usize {
+        11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gabm_sim::analysis::tran::TranSpec;
+    use gabm_sim::devices::SourceWave;
+
+    fn bench(vp: f64, vn: f64, strobe_on: bool) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let nodes: Vec<NodeId> = CmosComparator::pin_order()
+            .iter()
+            .map(|p| ckt.node(p))
+            .collect();
+        CmosComparator::new()
+            .instantiate(&mut ckt, "X1", &nodes)
+            .unwrap();
+        ckt.add_vsource("VDD", nodes[4], Circuit::GROUND, SourceWave::dc(2.5));
+        ckt.add_vsource("VSS", nodes[5], Circuit::GROUND, SourceWave::dc(-2.5));
+        ckt.add_vsource("VP", nodes[0], Circuit::GROUND, SourceWave::dc(vp));
+        ckt.add_vsource("VN", nodes[1], Circuit::GROUND, SourceWave::dc(vn));
+        ckt.add_vsource(
+            "VSTB",
+            nodes[2],
+            Circuit::GROUND,
+            SourceWave::dc(if strobe_on { 2.5 } else { -2.5 }),
+        );
+        (ckt, nodes[3])
+    }
+
+    #[test]
+    fn decides_positive_input() {
+        let (mut ckt, out) = bench(0.3, -0.3, true);
+        let op = ckt.op().unwrap();
+        // inp > inn ⇒ d2 pulled high ⇒ M6 weakly on ⇒ outi low ⇒ out high.
+        let v = op.voltage(out);
+        assert!(v > 1.5, "out = {v}");
+    }
+
+    #[test]
+    fn decides_negative_input() {
+        let (mut ckt, out) = bench(-0.3, 0.3, true);
+        let op = ckt.op().unwrap();
+        let v = op.voltage(out);
+        assert!(v < -1.5, "out = {v}");
+    }
+
+    #[test]
+    fn strobe_off_forces_high() {
+        // Tail cut: d2 floats high through the mirror, M6 off, M7 pulls
+        // outi low, inverter drives out high.
+        let (mut ckt, out) = bench(-0.3, 0.3, false);
+        let op = ckt.op().unwrap();
+        let v = op.voltage(out);
+        assert!(v > 1.5, "out = {v}");
+    }
+
+    #[test]
+    fn transient_tracks_input_reversal() {
+        let mut ckt = Circuit::new();
+        let nodes: Vec<NodeId> = CmosComparator::pin_order()
+            .iter()
+            .map(|p| ckt.node(p))
+            .collect();
+        CmosComparator::new()
+            .instantiate(&mut ckt, "X1", &nodes)
+            .unwrap();
+        ckt.add_vsource("VDD", nodes[4], Circuit::GROUND, SourceWave::dc(2.5));
+        ckt.add_vsource("VSS", nodes[5], Circuit::GROUND, SourceWave::dc(-2.5));
+        // Differential input flips polarity at 10 µs.
+        ckt.add_vsource(
+            "VP",
+            nodes[0],
+            Circuit::GROUND,
+            SourceWave::Pwl(vec![(0.0, 0.3), (9e-6, 0.3), (11e-6, -0.3), (20e-6, -0.3)]),
+        );
+        ckt.add_vsource("VN", nodes[1], Circuit::GROUND, SourceWave::dc(0.0));
+        ckt.add_vsource("VSTB", nodes[2], Circuit::GROUND, SourceWave::dc(2.5));
+        let result = ckt.tran(&TranSpec::new(20e-6)).unwrap();
+        let w = result.voltage_waveform(nodes[3]).unwrap();
+        assert!(w.value_at(5e-6).unwrap() > 1.5);
+        assert!(w.value_at(18e-6).unwrap() < -1.5);
+    }
+
+    #[test]
+    fn transistor_count_is_eleven() {
+        assert_eq!(CmosComparator::new().transistor_count(), 11);
+        // And the netlist really contains 11 MOSFETs.
+        let (ckt, _) = bench(0.0, 0.0, true);
+        let mos = ckt
+            .devices()
+            .iter()
+            .filter(|d| d.name().contains("_M"))
+            .count();
+        assert_eq!(mos, 11);
+    }
+
+    #[test]
+    fn wrong_node_count_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(CmosComparator::new()
+            .instantiate(&mut ckt, "X", &[a])
+            .is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Numerical-integration support for the transient engine.
+//!
+//! A SPICE-class simulator discretizes `i = C·dv/dt` with an implicit linear
+//! multistep method. Writing the discretization as
+//!
+//! ```text
+//! dx/dt ≈ a0·x(t_n) + history
+//! ```
+//!
+//! each reactive element stamps `a0·C` into the Jacobian and the history term
+//! into the right-hand side. This module provides the coefficients for
+//! backward Euler, trapezoidal and Gear-2 (BDF2) methods, local truncation
+//! error estimates, and the adaptive [`StepController`] used by
+//! `gabm-sim`'s transient analysis.
+//!
+//! The paper's §3.3 note — "models are simulated using electrical simulators
+//! which are time-discrete systems with *variable time intervals*" — is
+//! exactly what the controller implements; the slew-rate construct's one-step
+//! delay element reads the controller's current step.
+
+/// Implicit integration method used for reactive elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// First-order backward Euler: L-stable, strongly damped. The safe choice
+    /// around discontinuities (strobe edges, limiter corners).
+    BackwardEuler,
+    /// Second-order trapezoidal rule: A-stable, no numerical damping; SPICE's
+    /// default, and ours.
+    #[default]
+    Trapezoidal,
+    /// Second-order backward differentiation (Gear-2): L-stable, mildly
+    /// damped; useful when trapezoidal ringing appears.
+    Gear2,
+}
+
+impl Method {
+    /// Order of accuracy of the method.
+    pub fn order(self) -> usize {
+        match self {
+            Method::BackwardEuler => 1,
+            Method::Trapezoidal | Method::Gear2 => 2,
+        }
+    }
+}
+
+/// Discretization coefficients for one time step.
+///
+/// The derivative at the new time point is expressed as
+/// `dx/dt ≈ coeff0·x_new + rhs_history`, where `rhs_history` is assembled via
+/// [`Coefficients::history`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coefficients {
+    /// Multiplier of the new value in the derivative approximation.
+    pub coeff0: f64,
+    method: Method,
+    dt: f64,
+    dt_prev: f64,
+}
+
+impl Coefficients {
+    /// Computes the coefficients for `method` with current step `dt` and the
+    /// previous step `dt_prev` (used by the variable-step Gear-2 formula).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`.
+    pub fn new(method: Method, dt: f64, dt_prev: f64) -> Self {
+        assert!(dt > 0.0, "time step must be positive, got {dt}");
+        let coeff0 = match method {
+            Method::BackwardEuler => 1.0 / dt,
+            Method::Trapezoidal => 2.0 / dt,
+            Method::Gear2 => {
+                if dt_prev > 0.0 {
+                    // Variable-step BDF2 leading coefficient.
+                    let rho = dt / dt_prev;
+                    (1.0 + 2.0 * rho) / (1.0 + rho) / dt
+                } else {
+                    // First step: fall back to backward Euler.
+                    1.0 / dt
+                }
+            }
+        };
+        Coefficients {
+            coeff0,
+            method,
+            dt,
+            dt_prev,
+        }
+    }
+
+    /// History term of the derivative approximation given the previous value
+    /// `x_prev`, the previous derivative `dx_prev`, and the value before that
+    /// `x_prev2`:
+    ///
+    /// `dx/dt ≈ coeff0·x_new + history(x_prev, dx_prev, x_prev2)`.
+    pub fn history(&self, x_prev: f64, dx_prev: f64, x_prev2: f64) -> f64 {
+        match self.method {
+            Method::BackwardEuler => -x_prev / self.dt,
+            Method::Trapezoidal => -2.0 * x_prev / self.dt - dx_prev,
+            Method::Gear2 => {
+                if self.dt_prev > 0.0 {
+                    let rho = self.dt / self.dt_prev;
+                    let a1 = -(1.0 + rho) / self.dt;
+                    let a2 = rho * rho / (1.0 + rho) / self.dt;
+                    a1 * x_prev + a2 * x_prev2
+                } else {
+                    -x_prev / self.dt
+                }
+            }
+        }
+    }
+
+    /// Method these coefficients were derived for.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Current step size.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+}
+
+/// Local truncation error estimate for the value `x_new` produced over the
+/// last step, from divided differences of the recent history.
+///
+/// Returns an estimate of the per-step error; the controller compares it with
+/// a tolerance to accept or shrink the step.
+pub fn local_truncation_error(
+    method: Method,
+    dt: f64,
+    x_new: f64,
+    x_prev: f64,
+    x_prev2: f64,
+    dt_prev: f64,
+) -> f64 {
+    if dt_prev <= 0.0 {
+        // Not enough history: assume worst case so the controller stays
+        // conservative on the first steps.
+        return (x_new - x_prev).abs() * 0.5;
+    }
+    // Second divided difference ≈ x''/2.
+    let dd1 = (x_new - x_prev) / dt;
+    let dd0 = (x_prev - x_prev2) / dt_prev;
+    let dd2 = (dd1 - dd0) / (dt + dt_prev);
+    match method {
+        // BE: LTE = dt²/2 · x'' = dt² · dd2.
+        Method::BackwardEuler => (dt * dt * dd2).abs(),
+        // Trap/Gear2: LTE ~ dt³ · x''' — approximate x''' by dd2/dt scale;
+        // this keeps the classic h³ scaling without a third difference.
+        Method::Trapezoidal => (dt * dt * dd2 / 6.0).abs(),
+        Method::Gear2 => (dt * dt * dd2 / 3.0).abs(),
+    }
+}
+
+/// Adaptive step-size controller driven by Newton convergence and local
+/// truncation error.
+///
+/// # Example
+///
+/// ```
+/// use gabm_numeric::integrate::{StepController, StepOutcome};
+///
+/// let mut ctl = StepController::new(1e-9, 1e-12, 1e-6);
+/// let dt = ctl.current_dt();
+/// // ... run a transient step, estimate LTE ...
+/// match ctl.advance(0.0) {
+///     StepOutcome::Accept { next_dt } => assert!(next_dt >= dt),
+///     StepOutcome::Reject { retry_dt } => assert!(retry_dt < dt),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepController {
+    dt: f64,
+    dt_min: f64,
+    dt_max: f64,
+    /// Target LTE per step.
+    pub tol: f64,
+    /// Maximum ratio a step may grow by (SPICE-style 2× cap keeps the
+    /// discontinuity handling of §4's note well-behaved).
+    pub max_growth: f64,
+    rejects_in_a_row: usize,
+}
+
+/// Decision returned by [`StepController::advance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// The step is accepted; continue with `next_dt`.
+    Accept {
+        /// Step to use for the next interval.
+        next_dt: f64,
+    },
+    /// The step must be redone with the smaller `retry_dt`.
+    Reject {
+        /// Step to retry the same interval with.
+        retry_dt: f64,
+    },
+}
+
+impl StepController {
+    /// Creates a controller with initial step `dt`, minimum `dt_min` and
+    /// maximum `dt_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dt_min <= dt <= dt_max`.
+    pub fn new(dt: f64, dt_min: f64, dt_max: f64) -> Self {
+        assert!(
+            dt_min > 0.0 && dt_min <= dt && dt <= dt_max,
+            "require 0 < dt_min <= dt <= dt_max (got {dt_min}, {dt}, {dt_max})"
+        );
+        StepController {
+            dt,
+            dt_min,
+            dt_max,
+            tol: 1e-4,
+            max_growth: 2.0,
+            rejects_in_a_row: 0,
+        }
+    }
+
+    /// Step the controller will attempt next.
+    pub fn current_dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Forces the next step (clamped to the controller's bounds) — used when
+    /// a breakpoint (source corner, strobe edge) must be hit exactly.
+    pub fn clamp_to(&mut self, dt: f64) {
+        self.dt = dt.clamp(self.dt_min, self.dt_max);
+    }
+
+    /// Judges the step from its LTE estimate: accept and possibly grow, or
+    /// reject and shrink.
+    pub fn advance(&mut self, lte: f64) -> StepOutcome {
+        if lte > self.tol && self.dt > self.dt_min {
+            // Shrink proportionally to the overshoot, at least by half.
+            let shrink = (self.tol / lte).powf(0.5).clamp(0.1, 0.5);
+            self.dt = (self.dt * shrink).max(self.dt_min);
+            self.rejects_in_a_row += 1;
+            return StepOutcome::Reject { retry_dt: self.dt };
+        }
+        self.rejects_in_a_row = 0;
+        let grow = if lte <= 0.0 {
+            self.max_growth
+        } else {
+            (self.tol / lte).powf(0.33).clamp(1.0, self.max_growth)
+        };
+        self.dt = (self.dt * grow).min(self.dt_max);
+        StepOutcome::Accept { next_dt: self.dt }
+    }
+
+    /// Reports a Newton-convergence failure: the step is halved and retried.
+    ///
+    /// Returns `None` if the controller is already at `dt_min` — the caller
+    /// should abort with a convergence error (ELDO would report
+    /// "timestep too small").
+    pub fn newton_failure(&mut self) -> Option<f64> {
+        if self.dt <= self.dt_min * (1.0 + 1e-12) {
+            return None;
+        }
+        self.dt = (self.dt / 8.0).max(self.dt_min);
+        self.rejects_in_a_row += 1;
+        Some(self.dt)
+    }
+
+    /// Number of consecutive rejected steps (diagnostic).
+    pub fn rejects_in_a_row(&self) -> usize {
+        self.rejects_in_a_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_orders() {
+        assert_eq!(Method::BackwardEuler.order(), 1);
+        assert_eq!(Method::Trapezoidal.order(), 2);
+        assert_eq!(Method::Gear2.order(), 2);
+        assert_eq!(Method::default(), Method::Trapezoidal);
+    }
+
+    /// Integrate dx/dt = -x over [0,1] with each method and check accuracy
+    /// against e^{-1}. The derivative form used matches the simulator's:
+    /// solve coeff0·x_new + history = -x_new.
+    fn integrate_decay(method: Method, steps: usize) -> f64 {
+        let dt = 1.0 / steps as f64;
+        let mut x_prev = 1.0;
+        let mut x_prev2 = 1.0;
+        let mut dx_prev = -1.0;
+        let mut dt_prev = 0.0;
+        for _ in 0..steps {
+            let c = Coefficients::new(method, dt, dt_prev);
+            // coeff0·x + hist = -x  ⇒  x = -hist / (coeff0 + 1).
+            let hist = c.history(x_prev, dx_prev, x_prev2);
+            let x_new = -hist / (c.coeff0 + 1.0);
+            dx_prev = c.coeff0 * x_new + hist;
+            x_prev2 = x_prev;
+            x_prev = x_new;
+            dt_prev = dt;
+        }
+        x_prev
+    }
+
+    #[test]
+    fn backward_euler_first_order() {
+        let exact = (-1.0f64).exp();
+        let e100 = (integrate_decay(Method::BackwardEuler, 100) - exact).abs();
+        let e200 = (integrate_decay(Method::BackwardEuler, 200) - exact).abs();
+        // Halving the step should roughly halve the error.
+        let ratio = e100 / e200;
+        assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn trapezoidal_second_order() {
+        let exact = (-1.0f64).exp();
+        let e100 = (integrate_decay(Method::Trapezoidal, 100) - exact).abs();
+        let e200 = (integrate_decay(Method::Trapezoidal, 200) - exact).abs();
+        let ratio = e100 / e200;
+        assert!((3.3..4.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn gear2_second_order() {
+        let exact = (-1.0f64).exp();
+        let e100 = (integrate_decay(Method::Gear2, 100) - exact).abs();
+        let e200 = (integrate_decay(Method::Gear2, 200) - exact).abs();
+        let ratio = e100 / e200;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn gear2_first_step_is_be() {
+        let c = Coefficients::new(Method::Gear2, 0.1, 0.0);
+        let be = Coefficients::new(Method::BackwardEuler, 0.1, 0.0);
+        assert_eq!(c.coeff0, be.coeff0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time step must be positive")]
+    fn zero_dt_panics() {
+        let _ = Coefficients::new(Method::Trapezoidal, 0.0, 0.0);
+    }
+
+    #[test]
+    fn lte_scaling() {
+        // A quadratic x(t) = t² has constant second derivative: BE LTE should
+        // be non-zero, and shrink with dt².
+        let f = |t: f64| t * t;
+        let lte1 = local_truncation_error(
+            Method::BackwardEuler,
+            0.1,
+            f(0.3),
+            f(0.2),
+            f(0.1),
+            0.1,
+        );
+        let lte2 = local_truncation_error(
+            Method::BackwardEuler,
+            0.05,
+            f(0.20),
+            f(0.15),
+            f(0.10),
+            0.05,
+        );
+        assert!(lte1 > 0.0);
+        let ratio = lte1 / lte2;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn controller_accepts_and_grows() {
+        let mut c = StepController::new(1e-6, 1e-9, 1e-3);
+        match c.advance(0.0) {
+            StepOutcome::Accept { next_dt } => assert!((next_dt - 2e-6).abs() < 1e-12),
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controller_rejects_and_shrinks() {
+        let mut c = StepController::new(1e-6, 1e-9, 1e-3);
+        c.tol = 1e-6;
+        match c.advance(1.0) {
+            StepOutcome::Reject { retry_dt } => assert!(retry_dt < 1e-6),
+            other => panic!("expected reject, got {other:?}"),
+        }
+        assert_eq!(c.rejects_in_a_row(), 1);
+    }
+
+    #[test]
+    fn controller_growth_capped() {
+        let mut c = StepController::new(1e-6, 1e-9, 1e-3);
+        c.max_growth = 2.0;
+        if let StepOutcome::Accept { next_dt } = c.advance(1e-30) {
+            assert!(next_dt <= 2e-6 * (1.0 + 1e-12));
+        } else {
+            panic!("expected accept");
+        }
+    }
+
+    #[test]
+    fn controller_respects_dt_min_on_newton_failure() {
+        let mut c = StepController::new(8e-9, 1e-9, 1e-3);
+        assert_eq!(c.newton_failure(), Some(1e-9));
+        assert_eq!(c.newton_failure(), None);
+    }
+
+    #[test]
+    fn controller_clamp_to() {
+        let mut c = StepController::new(1e-6, 1e-9, 1e-3);
+        c.clamp_to(1e-12);
+        assert_eq!(c.current_dt(), 1e-9);
+        c.clamp_to(1.0);
+        assert_eq!(c.current_dt(), 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "require 0 < dt_min")]
+    fn controller_validates_bounds() {
+        let _ = StepController::new(1e-6, 1e-3, 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Dense LU factorization with partial pivoting, generic over [`Scalar`].
+//!
+//! One factorization serves both the real Newton solves of DC/transient
+//! analysis (`T = f64`) and the complex solves of AC analysis
+//! (`T = `[`Complex64`](crate::Complex64)).
+
+use crate::dense::DenseMatrix;
+use crate::{NumericError, Scalar};
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+///
+/// # Example
+///
+/// ```
+/// use gabm_numeric::{DenseMatrix, LuFactor};
+///
+/// # fn main() -> Result<(), gabm_numeric::NumericError> {
+/// let a = DenseMatrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 3.0][..]])?;
+/// let lu = LuFactor::new(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor<T = f64> {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: DenseMatrix<T>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinant computation.
+    perm_sign: f64,
+}
+
+/// Pivots smaller than this (relative to the largest magnitude seen in the
+/// column) are treated as zero. MNA matrices from well-posed circuits keep
+/// pivots far above this threshold; hitting it indicates a floating node or
+/// a short-circuited voltage-source loop.
+const PIVOT_EPS: f64 = 1e-13;
+
+impl<T: Scalar> LuFactor<T> {
+    /// Factorizes `a` with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] if `a` is not square.
+    /// * [`NumericError::Singular`] if a pivot column is numerically zero.
+    pub fn new(a: &DenseMatrix<T>) -> Result<Self, NumericError> {
+        if !a.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                expected: a.rows(),
+                found: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        // Scale factors for scaled partial pivoting: guards against badly
+        // scaled MNA rows (conductances span ~1e-12 .. 1e3).
+        let mut scale = vec![0.0f64; n];
+        for i in 0..n {
+            let mut s = 0.0f64;
+            for j in 0..n {
+                s = s.max(lu[(i, j)].magnitude());
+            }
+            scale[i] = if s == 0.0 { 1.0 } else { s };
+        }
+        for k in 0..n {
+            // Select pivot row by scaled magnitude.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[(k, k)].magnitude() / scale[k];
+            for i in (k + 1)..n {
+                let mag = lu[(i, k)].magnitude() / scale[i];
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag < PIVOT_EPS {
+                return Err(NumericError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                scale.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor == T::zero() {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let upd = lu[(i, j)] - factor * lu[(k, j)];
+                    lu[(i, j)] = upd;
+                }
+            }
+        }
+        Ok(LuFactor {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Apply permutation: y = P·b.
+        let mut x: Vec<T> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // Forward substitution with unit lower factor.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc = acc - self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with upper factor.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc = acc - self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves in place, reusing the caller's buffer (hot path of the Newton
+    /// loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_in_place(&self, b: &mut [T]) -> Result<(), NumericError> {
+        let x = self.solve(b)?;
+        b.copy_from_slice(&x);
+        Ok(())
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> T {
+        let mut d = T::from_f64(self.perm_sign);
+        for i in 0..self.dim() {
+            d = d * self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Crude reciprocal condition estimate from the diagonal pivot spread.
+    ///
+    /// A value near zero signals an ill-conditioned MNA system (the simulator
+    /// uses this to diagnose convergence trouble, mirroring the paper's §4
+    /// note on discontinuities causing simulator problems).
+    pub fn rcond_estimate(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for i in 0..self.dim() {
+            let m = self.lu[(i, i)].magnitude();
+            min = min.min(m);
+            max = max.max(m);
+        }
+        if max == 0.0 {
+            0.0
+        } else {
+            min / max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn solve_2x2() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0][..], &[1.0, 3.0][..]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        let r = a.mul_vec(&x).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-14);
+        assert!((r[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let x = lu.solve(&[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]).unwrap();
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a: DenseMatrix<f64> = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 0.0][..], &[0.0, 3.0][..]]).unwrap();
+        assert!((LuFactor::new(&a).unwrap().det() - 6.0).abs() < 1e-14);
+        // Permutation flips the sign.
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]).unwrap();
+        assert!((LuFactor::new(&b).unwrap().det() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn badly_scaled_rows() {
+        // Scaled pivoting must handle rows whose magnitudes differ by 1e12.
+        let a = DenseMatrix::from_rows(&[&[1e-12, 1.0][..], &[1.0, 1.0][..]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        let r = a.mul_vec(&x).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-9);
+        assert!((r[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 1.0][..], &[1.0, 2.0][..]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let mut b = [1.0, 1.0];
+        lu.solve_in_place(&mut b).unwrap();
+        let x = lu.solve(&[1.0, 1.0]).unwrap();
+        assert_eq!(b.to_vec(), x);
+    }
+
+    #[test]
+    fn complex_solve() {
+        let j = Complex64::J;
+        // (1+j)x = 2 → x = 1-j.
+        let a = DenseMatrix::from_rows(&[&[Complex64::ONE + j][..]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let x = lu.solve(&[Complex64::from_real(2.0)]).unwrap();
+        assert!((x[0] - Complex64::new(1.0, -1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rcond_sane() {
+        let a: DenseMatrix<f64> = DenseMatrix::identity(4);
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.rcond_estimate() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn random_residuals_small() {
+        // Deterministic pseudo-random matrix: xorshift to avoid rand dep here.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [1usize, 2, 5, 10, 20] {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for jj in 0..n {
+                    a[(i, jj)] = next();
+                }
+                // Diagonal dominance keeps it well conditioned.
+                a[(i, i)] = a[(i, i)] + 2.0;
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let lu = LuFactor::new(&a).unwrap();
+            let x = lu.solve(&b).unwrap();
+            let r = a.mul_vec(&x).unwrap();
+            for (ri, bi) in r.iter().zip(&b) {
+                assert!((ri - bi).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+}

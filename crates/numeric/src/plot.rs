@@ -1,0 +1,186 @@
+//! Terminal oscillograms: render waveforms as ASCII plots.
+//!
+//! Used by the benchmark harness to display the paper's Fig. 7 directly in
+//! the terminal — several traces share one time axis, each drawn with its
+//! own glyph.
+
+use crate::waveform::Waveform;
+use crate::NumericError;
+
+/// Options for [`ascii_plot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlotOptions {
+    /// Character columns of the plot area.
+    pub width: usize,
+    /// Character rows of the plot area.
+    pub height: usize,
+    /// Fixed y-range; `None` = auto-scale over all traces.
+    pub y_range: Option<(f64, f64)>,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            width: 72,
+            height: 16,
+            y_range: None,
+        }
+    }
+}
+
+/// Renders one or more waveforms as a shared-axis ASCII plot.
+///
+/// Traces are drawn with the glyphs `1`, `2`, `3`, … in argument order;
+/// where traces overlap the later one wins. A legend and the axis ranges
+/// are appended.
+///
+/// # Errors
+///
+/// * [`NumericError::Empty`] if no traces are given or any trace is empty.
+///
+/// # Example
+///
+/// ```
+/// use gabm_numeric::plot::{ascii_plot, PlotOptions};
+/// use gabm_numeric::Waveform;
+///
+/// # fn main() -> Result<(), gabm_numeric::NumericError> {
+/// let w = Waveform::from_fn(0.0, 1.0, 100, |t| t);
+/// let s = ascii_plot(&[("ramp", &w)], &PlotOptions::default())?;
+/// assert!(s.contains("ramp"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ascii_plot(
+    traces: &[(&str, &Waveform)],
+    options: &PlotOptions,
+) -> Result<String, NumericError> {
+    if traces.is_empty() || traces.iter().any(|(_, w)| w.is_empty()) {
+        return Err(NumericError::Empty);
+    }
+    let width = options.width.max(8);
+    let height = options.height.max(3);
+    let t0 = traces
+        .iter()
+        .map(|(_, w)| w.t_start())
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+    let t1 = traces
+        .iter()
+        .map(|(_, w)| w.t_end())
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let (y_lo, y_hi) = match options.y_range {
+        Some(r) => r,
+        None => {
+            let lo = traces.iter().map(|(_, w)| w.min()).fold(f64::INFINITY, f64::min);
+            let hi = traces
+                .iter()
+                .map(|(_, w)| w.max())
+                .fold(f64::NEG_INFINITY, f64::max);
+            if lo == hi {
+                (lo - 1.0, hi + 1.0)
+            } else {
+                // 5 % headroom.
+                let pad = 0.05 * (hi - lo);
+                (lo - pad, hi + pad)
+            }
+        }
+    };
+    let span_t = (t1 - t0).max(f64::MIN_POSITIVE);
+    let span_y = (y_hi - y_lo).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; width]; height];
+    // Zero axis if visible.
+    if y_lo < 0.0 && y_hi > 0.0 {
+        let row = ((y_hi / span_y) * (height - 1) as f64).round() as usize;
+        if row < height {
+            for cell in &mut grid[row] {
+                *cell = '·';
+            }
+        }
+    }
+    for (idx, (_, w)) in traces.iter().enumerate() {
+        let glyph = char::from_digit((idx + 1) as u32 % 36, 36).unwrap_or('#');
+        for col in 0..width {
+            let t = t0 + span_t * col as f64 / (width - 1) as f64;
+            let v = w.value_at(t)?;
+            let frac = ((y_hi - v) / span_y).clamp(0.0, 1.0);
+            let row = (frac * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_hi:>11.3e} ┐\n"));
+    for row in grid {
+        out.push_str("            │");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>11.3e} ┘"));
+    out.push_str(&format!(
+        "  t = {t0:.3e} … {t1:.3e} s\n",
+    ));
+    for (idx, (name, _)) in traces.iter().enumerate() {
+        let glyph = char::from_digit((idx + 1) as u32 % 36, 36).unwrap_or('#');
+        out.push_str(&format!("            {glyph} = {name}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_single_trace() {
+        let w = Waveform::from_fn(0.0, 1.0, 50, |t| (2.0 * std::f64::consts::PI * t).sin());
+        let s = ascii_plot(&[("sine", &w)], &PlotOptions::default()).unwrap();
+        assert!(s.contains('1'));
+        assert!(s.contains("sine"));
+        // Zero axis drawn.
+        assert!(s.contains('·'));
+    }
+
+    #[test]
+    fn plots_multiple_traces() {
+        let a = Waveform::from_fn(0.0, 1.0, 50, |t| t);
+        let b = Waveform::from_fn(0.0, 1.0, 50, |t| 1.0 - t);
+        let s = ascii_plot(&[("up", &a), ("down", &b)], &PlotOptions::default()).unwrap();
+        assert!(s.contains('1'));
+        assert!(s.contains('2'));
+        assert!(s.contains("up"));
+        assert!(s.contains("down"));
+    }
+
+    #[test]
+    fn respects_fixed_range_and_size() {
+        let w = Waveform::from_fn(0.0, 1.0, 10, |_| 0.5);
+        let opts = PlotOptions {
+            width: 20,
+            height: 5,
+            y_range: Some((0.0, 1.0)),
+        };
+        let s = ascii_plot(&[("flat", &w)], &opts).unwrap();
+        // 5 plot rows + header + footer + legend.
+        assert_eq!(s.lines().count(), 8);
+        assert!(s.contains("1.000e0"));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(ascii_plot(&[], &PlotOptions::default()).is_err());
+        let empty = Waveform::new();
+        assert!(ascii_plot(&[("e", &empty)], &PlotOptions::default()).is_err());
+    }
+
+    #[test]
+    fn constant_trace_does_not_divide_by_zero() {
+        let w = Waveform::from_fn(0.0, 1.0, 5, |_| 3.0);
+        let s = ascii_plot(&[("c", &w)], &PlotOptions::default()).unwrap();
+        assert!(s.contains('1'));
+    }
+}

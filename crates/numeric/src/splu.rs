@@ -1,0 +1,372 @@
+//! Left-looking (Gilbert–Peierls) sparse LU factorization with partial
+//! pivoting.
+//!
+//! The simulator uses the dense solver for small systems and switches to this
+//! factorization above a node-count threshold; the `dense vs sparse` ablation
+//! bench quantifies the crossover on ladder networks.
+
+use crate::sparse::SparseMatrix;
+use crate::NumericError;
+
+/// Sparse LU factors of a square [`SparseMatrix`], `P·A = L·U`.
+///
+/// # Example
+///
+/// ```
+/// use gabm_numeric::{SparseLu, TripletBuilder};
+///
+/// # fn main() -> Result<(), gabm_numeric::NumericError> {
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.push(0, 0, 4.0);
+/// b.push(0, 1, 1.0);
+/// b.push(1, 0, 1.0);
+/// b.push(1, 1, 3.0);
+/// let lu = SparseLu::new(&b.to_csc())?;
+/// let x = lu.solve(&[1.0, 2.0])?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    // L in CSC without the unit diagonal.
+    l_col_ptr: Vec<usize>,
+    l_row_idx: Vec<usize>,
+    l_values: Vec<f64>,
+    // U in CSC, diagonal entry last in each column.
+    u_col_ptr: Vec<usize>,
+    u_row_idx: Vec<usize>,
+    u_values: Vec<f64>,
+    /// `perm[i]` = original row placed at position `i`.
+    perm: Vec<usize>,
+}
+
+const PIVOT_EPS: f64 = 1e-13;
+
+impl SparseLu {
+    /// Factorizes `a` column by column with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] if `a` is not square.
+    /// * [`NumericError::Singular`] if a column yields no usable pivot.
+    pub fn new(a: &SparseMatrix) -> Result<Self, NumericError> {
+        if a.rows() != a.cols() {
+            return Err(NumericError::DimensionMismatch {
+                expected: a.rows(),
+                found: a.cols(),
+            });
+        }
+        let n = a.rows();
+        // pinv[original_row] = current position, or usize::MAX while the row
+        // is not yet pivotal.
+        let mut pinv = vec![usize::MAX; n];
+        let mut perm = vec![usize::MAX; n];
+
+        let mut l_col_ptr = vec![0usize];
+        let mut l_row_idx: Vec<usize> = Vec::new();
+        let mut l_values: Vec<f64> = Vec::new();
+        let mut u_col_ptr = vec![0usize];
+        let mut u_row_idx: Vec<usize> = Vec::new();
+        let mut u_values: Vec<f64> = Vec::new();
+
+        // Dense work vector + occupancy pattern per column.
+        let mut work = vec![0.0f64; n];
+        let mut pattern: Vec<usize> = Vec::with_capacity(n);
+        let mut in_pattern = vec![false; n];
+        // Explicit DFS stack: (original_row, next child index to visit).
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+
+        for col in 0..n {
+            // Symbolic step: the non-zero pattern of the solution of
+            // L·x = A[:, col] is the set of nodes reachable in the graph of L
+            // from the rows of A[:, col]. Depth-first search records them in
+            // topological (reverse post-) order.
+            pattern.clear();
+            for (row, _) in a.col_iter(col) {
+                if in_pattern[row] {
+                    continue;
+                }
+                stack.push((row, 0));
+                in_pattern[row] = true;
+                while let Some(&mut (r, ref mut child)) = stack.last_mut() {
+                    // Children of r are the L entries of the pivotal column
+                    // owning r (if r is pivotal).
+                    let pos = pinv[r];
+                    let mut advanced = false;
+                    if pos != usize::MAX {
+                        let (lo, hi) = (l_col_ptr[pos], l_col_ptr[pos + 1]);
+                        while *child < hi - lo {
+                            let next_row = l_row_idx[lo + *child];
+                            *child += 1;
+                            if !in_pattern[next_row] {
+                                in_pattern[next_row] = true;
+                                stack.push((next_row, 0));
+                                advanced = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !advanced {
+                        stack.pop();
+                        pattern.push(r);
+                    }
+                }
+            }
+            // pattern is now in topological order for the numeric sweep when
+            // traversed from the end (roots last ⇒ reverse gives dependencies
+            // first).
+            for (row, v) in a.col_iter(col) {
+                work[row] = v;
+            }
+            for &r in pattern.iter().rev() {
+                let pos = pinv[r];
+                if pos == usize::MAX {
+                    continue;
+                }
+                let xr = work[r];
+                if xr == 0.0 {
+                    continue;
+                }
+                let (lo, hi) = (l_col_ptr[pos], l_col_ptr[pos + 1]);
+                for k in lo..hi {
+                    work[l_row_idx[k]] -= l_values[k] * xr;
+                }
+            }
+            // Pivot selection among not-yet-pivotal rows in the pattern.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_mag = 0.0f64;
+            for &r in &pattern {
+                if pinv[r] == usize::MAX {
+                    let m = work[r].abs();
+                    if m > pivot_mag {
+                        pivot_mag = m;
+                        pivot_row = r;
+                    }
+                }
+            }
+            if pivot_row == usize::MAX || pivot_mag < PIVOT_EPS {
+                return Err(NumericError::Singular { pivot: col });
+            }
+            let pivot_val = work[pivot_row];
+            pinv[pivot_row] = col;
+            perm[col] = pivot_row;
+            // Emit U column: pivotal rows, then the diagonal (pivot) last.
+            for &r in &pattern {
+                let pos = pinv[r];
+                if pos != usize::MAX && r != pivot_row && work[r] != 0.0 {
+                    u_row_idx.push(pos);
+                    u_values.push(work[r]);
+                }
+            }
+            u_row_idx.push(col);
+            u_values.push(pivot_val);
+            u_col_ptr.push(u_row_idx.len());
+            // Emit L column: non-pivotal rows scaled by the pivot.
+            for &r in &pattern {
+                if pinv[r] == usize::MAX && work[r] != 0.0 {
+                    l_row_idx.push(r);
+                    l_values.push(work[r] / pivot_val);
+                }
+            }
+            l_col_ptr.push(l_row_idx.len());
+            // Reset work/pattern.
+            for &r in &pattern {
+                work[r] = 0.0;
+                in_pattern[r] = false;
+            }
+        }
+        Ok(SparseLu {
+            n,
+            l_col_ptr,
+            l_row_idx,
+            l_values,
+            u_col_ptr,
+            u_row_idx,
+            u_values,
+            perm,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Fill-in: total stored entries in `L` and `U`.
+    pub fn factor_nnz(&self) -> usize {
+        self.l_values.len() + self.u_values.len()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        if b.len() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        // Forward solve L·y = b. L's column k eliminates into original row
+        // indices; track the solution on original rows.
+        let mut y = b.to_vec();
+        for k in 0..self.n {
+            let yk = y[self.perm[k]];
+            if yk == 0.0 {
+                continue;
+            }
+            let (lo, hi) = (self.l_col_ptr[k], self.l_col_ptr[k + 1]);
+            for i in lo..hi {
+                y[self.l_row_idx[i]] -= self.l_values[i] * yk;
+            }
+        }
+        // Gather into pivotal order.
+        let mut x: Vec<f64> = (0..self.n).map(|k| y[self.perm[k]]).collect();
+        // Backward solve U·x = y. U columns have the diagonal last.
+        for k in (0..self.n).rev() {
+            let (lo, hi) = (self.u_col_ptr[k], self.u_col_ptr[k + 1]);
+            let diag = self.u_values[hi - 1];
+            let xk = x[k] / diag;
+            x[k] = xk;
+            if xk == 0.0 {
+                continue;
+            }
+            for i in lo..(hi - 1) {
+                x[self.u_row_idx[i]] -= self.u_values[i] * xk;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletBuilder;
+
+    fn dense_to_builder(rows: &[&[f64]]) -> TripletBuilder {
+        let mut b = TripletBuilder::new(rows.len(), rows[0].len());
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    b.push(i, j, v);
+                }
+            }
+        }
+        b
+    }
+
+    fn check_solution(rows: &[&[f64]], b: &[f64]) {
+        let m = dense_to_builder(rows).to_csc();
+        let lu = SparseLu::new(&m).unwrap();
+        let x = lu.solve(b).unwrap();
+        let r = m.mul_vec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(b) {
+            assert!((ri - bi).abs() < 1e-9, "residual too large: {ri} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn solve_2x2() {
+        check_solution(&[&[4.0, 1.0][..], &[1.0, 3.0][..]], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        check_solution(&[&[0.0, 1.0][..], &[1.0, 0.0][..]], &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn tridiagonal_ladder() {
+        // RC-ladder-like tridiagonal system.
+        let n = 50;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+            }
+        }
+        let m = b.to_csc();
+        let lu = SparseLu::new(&m).unwrap();
+        let rhs = vec![1.0; n];
+        let x = lu.solve(&rhs).unwrap();
+        let r = m.mul_vec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&rhs) {
+            assert!((ri - bi).abs() < 1e-9);
+        }
+        // Tridiagonal factors stay narrow: fill-in bounded by 3 per column.
+        assert!(lu.factor_nnz() <= 3 * n);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let m = dense_to_builder(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]).to_csc();
+        assert!(matches!(
+            SparseLu::new(&m),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn structurally_singular_column() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        // Column 1 completely empty.
+        let m = b.to_csc();
+        assert!(matches!(
+            SparseLu::new(&m),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let b = TripletBuilder::new(2, 3);
+        assert!(matches!(
+            SparseLu::new(&b.to_csc()),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matches_dense_on_random_systems() {
+        use crate::dense::DenseMatrix;
+        use crate::lu::LuFactor;
+        let mut state = 0xdeadbeefcafef00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [3usize, 8, 16] {
+            let mut dm = DenseMatrix::zeros(n, n);
+            let mut tb = TripletBuilder::new(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    // ~40% sparsity plus strong diagonal.
+                    let v = next();
+                    if i == j || v.abs() > 0.3 {
+                        let val = if i == j { v + 3.0 } else { v };
+                        dm[(i, j)] = val;
+                        tb.push(i, j, val);
+                    }
+                }
+            }
+            let rhs: Vec<f64> = (0..n).map(|_| next()).collect();
+            let xd = LuFactor::new(&dm).unwrap().solve(&rhs).unwrap();
+            let xs = SparseLu::new(&tb.to_csc()).unwrap().solve(&rhs).unwrap();
+            for (a, b) in xd.iter().zip(&xs) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+}

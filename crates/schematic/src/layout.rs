@@ -1,0 +1,122 @@
+//! Automatic signal-flow layout of a functional diagram.
+//!
+//! Places symbols in columns by topological depth (sources left, sinks
+//! right), the conventional left-to-right reading order of the paper's
+//! figures. Used by both renderers.
+
+use gabm_core::diagram::{FunctionalDiagram, SymbolId};
+use gabm_core::symbol::{PortDirection, SymbolKind};
+use std::collections::BTreeMap;
+
+/// Layout result: a column (depth) and a row for every symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    /// `positions[id] = (column, row)`, keyed by symbol id.
+    pub positions: BTreeMap<usize, (usize, usize)>,
+    /// Number of columns.
+    pub n_cols: usize,
+    /// Height of the tallest column.
+    pub n_rows: usize,
+}
+
+/// Computes the signal-flow layout.
+pub fn layout(d: &FunctionalDiagram) -> Layout {
+    // Edges: net driver -> consumers (delays don't cut layout edges; the
+    // figure still reads left to right through them, but feedback edges are
+    // ignored to keep depths finite).
+    let n = d.symbol_count();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for net in d.nets() {
+        let mut driver = None;
+        let mut consumers = Vec::new();
+        for p in &net.ports {
+            if let Ok(sym) = d.symbol(p.symbol) {
+                match sym.ports()[p.port].direction {
+                    PortDirection::Output => driver = Some(sym.id),
+                    PortDirection::Input => consumers.push(sym.id),
+                    PortDirection::Bidir => {}
+                }
+            }
+        }
+        if let Some(drv) = driver {
+            for c in consumers {
+                // Delay inputs are feedback: skip to keep the DAG acyclic.
+                let stateful = matches!(
+                    d.symbol(SymbolId(c)).map(|s| &s.kind),
+                    Ok(SymbolKind::UnitDelay) | Ok(SymbolKind::Delay)
+                );
+                if !stateful {
+                    edges.push((drv, c));
+                }
+            }
+        }
+    }
+    // Longest-path depth.
+    let mut depth: Vec<usize> = vec![0; n + 1];
+    // Relax repeatedly (graph is small; O(V·E) is fine).
+    for _ in 0..n {
+        let mut changed = false;
+        for &(a, b) in &edges {
+            if depth[b] < depth[a] + 1 {
+                depth[b] = depth[a] + 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Pins at column 0 visually (they are interface, usually sources).
+    let mut positions = BTreeMap::new();
+    let mut col_fill: BTreeMap<usize, usize> = BTreeMap::new();
+    for sym in d.symbols() {
+        let col = depth[sym.id];
+        let row = *col_fill.entry(col).or_insert(0);
+        col_fill.insert(col, row + 1);
+        positions.insert(sym.id, (col, row));
+    }
+    let n_cols = col_fill.keys().max().map(|c| c + 1).unwrap_or(0);
+    let n_rows = col_fill.values().max().copied().unwrap_or(0);
+    Layout {
+        positions,
+        n_cols,
+        n_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gabm_core::constructs::{InputStageSpec, SlewRateSpec};
+
+    #[test]
+    fn input_stage_layout_depths() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let l = layout(&d);
+        // probe (2) before ddt (4) before gain (5) before adder (7) before
+        // nothing... adder feeds the generator (3).
+        let col = |id: usize| l.positions[&id].0;
+        assert!(col(2) < col(4));
+        assert!(col(4) < col(5));
+        assert!(col(5) < col(7));
+        assert!(col(7) < col(3));
+        assert!(l.n_cols >= 4);
+        assert!(l.n_rows >= 1);
+    }
+
+    #[test]
+    fn feedback_does_not_blow_up() {
+        let d = SlewRateSpec::new(1e6, 1e6).diagram().unwrap();
+        let l = layout(&d);
+        assert!(l.n_cols < 10, "layout diverged: {} cols", l.n_cols);
+        assert_eq!(l.positions.len(), d.symbol_count());
+    }
+
+    #[test]
+    fn empty_diagram() {
+        let d = gabm_core::diagram::FunctionalDiagram::new("e");
+        let l = layout(&d);
+        assert_eq!(l.n_cols, 0);
+        assert_eq!(l.n_rows, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Schematic entry substrate.
+//!
+//! The paper reuses "an existing schematic entry tool" to draw functional
+//! diagrams (§2.2, §3.2). This crate provides that service for the `gabm`
+//! workspace:
+//!
+//! * [`sheet`] — a drawing sheet: GBS placed on a grid with orthogonal
+//!   wires, T-junction detection and connectivity extraction into a
+//!   [`FunctionalDiagram`](gabm_core::diagram::FunctionalDiagram);
+//! * [`layout`] — automatic signal-flow layout of an existing diagram
+//!   (symbols in topological columns), used by the renderers;
+//! * [`render`] — ASCII and SVG renderers that regenerate the paper's
+//!   diagram figures (Figs. 2–6).
+
+pub mod layout;
+pub mod render;
+pub mod sheet;
+
+pub use render::{render_ascii, render_svg};
+pub use sheet::{Placement, Sheet, Wire};
+
+use std::fmt;
+
+/// Errors of the schematic layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchematicError {
+    /// Two symbols overlap on the sheet.
+    Overlap {
+        /// First placement index.
+        first: usize,
+        /// Second placement index.
+        second: usize,
+    },
+    /// A wire is neither horizontal nor vertical.
+    DiagonalWire {
+        /// Wire index.
+        wire: usize,
+    },
+    /// Connectivity extraction failed structurally.
+    Extraction(gabm_core::CoreError),
+}
+
+impl fmt::Display for SchematicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchematicError::Overlap { first, second } => {
+                write!(f, "placements {first} and {second} overlap")
+            }
+            SchematicError::DiagonalWire { wire } => {
+                write!(f, "wire {wire} is not orthogonal")
+            }
+            SchematicError::Extraction(e) => write!(f, "extraction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchematicError {}
+
+impl From<gabm_core::CoreError> for SchematicError {
+    fn from(e: gabm_core::CoreError) -> Self {
+        SchematicError::Extraction(e)
+    }
+}
+
+/// An integer grid point on the sheet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// Horizontal coordinate (grid units).
+    pub x: i32,
+    /// Vertical coordinate (grid units).
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_display() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SchematicError::Overlap { first: 0, second: 3 };
+        assert!(e.to_string().contains("overlap"));
+        assert!(SchematicError::DiagonalWire { wire: 2 }
+            .to_string()
+            .contains("orthogonal"));
+    }
+}

@@ -1,0 +1,246 @@
+//! ASCII and SVG renderers for functional diagrams (regenerate the paper's
+//! Figs. 2–6).
+
+use crate::layout::layout;
+use gabm_core::diagram::{FunctionalDiagram, PortRef, SymbolId};
+use gabm_core::symbol::{PortDirection, SymbolKind};
+use std::fmt::Write as _;
+
+/// Short label for a symbol box.
+fn symbol_label(kind: &SymbolKind) -> String {
+    match kind {
+        SymbolKind::Pin { name } => format!("pin:{name}"),
+        SymbolKind::Probe { quantity } => format!("probe {quantity}"),
+        SymbolKind::Generator { quantity } => format!("gen {quantity}"),
+        SymbolKind::Parameter { param, .. } => format!("param {param}"),
+        SymbolKind::SimVariable { var } => var.code_name().to_string(),
+        SymbolKind::Constant { value } => format!("{value}"),
+        SymbolKind::Gain => "gain".to_string(),
+        SymbolKind::Limiter => "limit".to_string(),
+        SymbolKind::Differentiator => "d/dt".to_string(),
+        SymbolKind::Integrator => "integ".to_string(),
+        SymbolKind::Delay => "delay".to_string(),
+        SymbolKind::UnitDelay => "z^-1".to_string(),
+        SymbolKind::TransferFunction { .. } => "H(s)".to_string(),
+        SymbolKind::Adder { signs } => {
+            let ops: String = signs.iter().map(|s| if *s { '+' } else { '-' }).collect();
+            format!("add({ops})")
+        }
+        SymbolKind::Multiplier { ops } => {
+            let o: String = ops.iter().map(|s| if *s { '*' } else { '/' }).collect();
+            format!("mul({o})")
+        }
+        SymbolKind::Separator => "sep +/-".to_string(),
+        SymbolKind::Function { func } => func.code_name().to_string(),
+        SymbolKind::Hierarchical { name, .. } => format!("[{name}]"),
+    }
+}
+
+/// Renders a functional diagram as ASCII: one box per symbol placed in
+/// signal-flow columns, followed by the net list.
+///
+/// The output is deterministic, making it suitable for golden tests and for
+/// the harness that regenerates the paper's figures in a terminal.
+pub fn render_ascii(d: &FunctionalDiagram) -> String {
+    let l = layout(d);
+    let mut out = String::new();
+    let _ = writeln!(out, "functional diagram: {}", d.name());
+    // Grid of boxes, column-major print.
+    const CELL_W: usize = 18;
+    for row in 0..l.n_rows.max(1) {
+        let mut line = String::new();
+        for col in 0..l.n_cols {
+            let here = d.symbols().find(|s| l.positions[&s.id] == (col, row));
+            match here {
+                Some(sym) => {
+                    let label = format!("[{}:{}]", sym.id, symbol_label(&sym.kind));
+                    let _ = write!(line, "{label:<CELL_W$}");
+                }
+                None => {
+                    let _ = write!(line, "{:CELL_W$}", "");
+                }
+            }
+        }
+        let trimmed = line.trim_end();
+        if !trimmed.is_empty() {
+            let _ = writeln!(out, "{trimmed}");
+        }
+    }
+    let _ = writeln!(out, "nets:");
+    for net in d.nets() {
+        let mut parts: Vec<String> = Vec::new();
+        for p in &net.ports {
+            if let Ok(sym) = d.symbol(p.symbol) {
+                let ports = sym.ports();
+                let spec = &ports[p.port];
+                let arrow = match spec.direction {
+                    PortDirection::Output => ">",
+                    PortDirection::Input => "<",
+                    PortDirection::Bidir => "=",
+                };
+                parts.push(format!("{}{}.{}", arrow, sym.id, spec.name));
+            }
+        }
+        let _ = writeln!(out, "  n{}: {}", net.id.0, parts.join(" "));
+    }
+    out
+}
+
+/// Renders a functional diagram as a standalone SVG document.
+pub fn render_svg(d: &FunctionalDiagram) -> String {
+    let l = layout(d);
+    const BOX_W: i32 = 120;
+    const BOX_H: i32 = 40;
+    const GAP_X: i32 = 60;
+    const GAP_Y: i32 = 30;
+    const MARGIN: i32 = 20;
+    let width = MARGIN * 2 + l.n_cols.max(1) as i32 * (BOX_W + GAP_X);
+    let height = MARGIN * 2 + l.n_rows.max(1) as i32 * (BOX_H + GAP_Y);
+    let pos = |id: usize| -> (i32, i32) {
+        let (col, row) = l.positions[&id];
+        (
+            MARGIN + col as i32 * (BOX_W + GAP_X),
+            MARGIN + row as i32 * (BOX_H + GAP_Y),
+        )
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">"
+    );
+    let _ = writeln!(
+        out,
+        "  <title>{} (functional diagram)</title>",
+        d.name()
+    );
+    let _ = writeln!(
+        out,
+        "  <style>rect{{fill:#f8f8f4;stroke:#333;}}text{{font:11px monospace;}}line{{stroke:#555;}}</style>"
+    );
+    // Edges first (under boxes): driver centre-right to consumer
+    // centre-left.
+    for net in d.nets() {
+        let mut driver: Option<usize> = None;
+        let mut others: Vec<usize> = Vec::new();
+        for p in &net.ports {
+            if let Ok(sym) = d.symbol(p.symbol) {
+                match sym.ports()[p.port].direction {
+                    PortDirection::Output => driver = Some(sym.id),
+                    _ => others.push(sym.id),
+                }
+            }
+        }
+        let endpoints: Vec<usize> = match driver {
+            Some(drv) => {
+                others.retain(|&o| o != drv);
+                others
+                    .iter()
+                    .flat_map(|&o| [drv, o])
+                    .collect()
+            }
+            None => others
+                .windows(2)
+                .flat_map(|w| [w[0], w[1]])
+                .collect(),
+        };
+        for pair in endpoints.chunks(2) {
+            if let [a, b] = pair {
+                let (ax, ay) = pos(*a);
+                let (bx, by) = pos(*b);
+                let _ = writeln!(
+                    out,
+                    "  <line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\"/>",
+                    ax + BOX_W,
+                    ay + BOX_H / 2,
+                    bx,
+                    by + BOX_H / 2
+                );
+            }
+        }
+    }
+    for sym in d.symbols() {
+        let (x, y) = pos(sym.id);
+        let _ = writeln!(
+            out,
+            "  <rect x=\"{x}\" y=\"{y}\" width=\"{BOX_W}\" height=\"{BOX_H}\" rx=\"4\"/>"
+        );
+        let label = symbol_label(&sym.kind);
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\">#{} {}</text>",
+            x + 6,
+            y + BOX_H / 2 + 4,
+            sym.id,
+            xml_escape(&label)
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Convenience: the positions of a diagram's pins in the rendered SVG are
+/// often needed by callers embedding the figure; expose the layout.
+pub fn diagram_layout(d: &FunctionalDiagram) -> crate::layout::Layout {
+    layout(d)
+}
+
+/// Renders the connectivity of one symbol (diagnostic helper).
+pub fn describe_symbol(d: &FunctionalDiagram, id: SymbolId) -> String {
+    let Ok(sym) = d.symbol(id) else {
+        return format!("unknown symbol {}", id.0);
+    };
+    let mut out = format!("{sym}:");
+    for (idx, spec) in sym.ports().iter().enumerate() {
+        let pr = PortRef { symbol: id, port: idx };
+        match d.net_of(pr) {
+            Some(net) => {
+                let _ = write!(out, " {}→n{}", spec.name, net.id.0);
+            }
+            None => {
+                let _ = write!(out, " {}→(open)", spec.name);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gabm_core::constructs::{InputStageSpec, SlewRateSpec};
+
+    #[test]
+    fn ascii_contains_all_symbols() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let a = render_ascii(&d);
+        assert!(a.contains("pin:in"));
+        assert!(a.contains("d/dt"));
+        assert!(a.contains("add(++)"));
+        assert!(a.contains("nets:"));
+        // Deterministic output.
+        assert_eq!(a, render_ascii(&d));
+    }
+
+    #[test]
+    fn svg_well_formed() {
+        let d = SlewRateSpec::new(1e6, 1e6).diagram().unwrap();
+        let s = render_svg(&d);
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert_eq!(s.matches("<rect").count(), d.symbol_count());
+        assert!(s.contains("z^-1"));
+    }
+
+    #[test]
+    fn describe_symbol_reports_nets() {
+        let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
+        let s = describe_symbol(&d, SymbolId(2));
+        assert!(s.contains("probe"));
+        assert!(s.contains("→n"));
+        assert!(describe_symbol(&d, SymbolId(99)).contains("unknown"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Circuit analyses: operating point, DC sweep, transient, AC.
+
+pub mod ac;
+pub mod dc;
+pub(crate) mod engine;
+pub mod op;
+pub mod tran;

@@ -1,0 +1,429 @@
+//! Adaptive-step transient analysis.
+//!
+//! Implements the variable-time-interval engine the paper's §3.3 note
+//! presupposes: an implicit integration method, Newton at every candidate
+//! point, local-truncation-error step control, breakpoint handling at source
+//! corners and step-halving retries on convergence failures (the
+//! "simulation expertise" of §4's note on discontinuities).
+
+use crate::analysis::engine::{newton_solve, SolveSetup};
+use crate::circuit::{Circuit, NodeId};
+use crate::device::{Mode, StateView};
+use crate::options::SimStats;
+use crate::SimError;
+use gabm_numeric::integrate::{
+    local_truncation_error, Coefficients, Method, StepController, StepOutcome,
+};
+use gabm_numeric::Waveform;
+
+/// Specification of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranSpec {
+    /// Stop time in seconds.
+    pub tstop: f64,
+    /// Initial/seed step (default `tstop / 1000`).
+    pub dt_init: Option<f64>,
+    /// Smallest allowed step (default `tstop · 1e-9`).
+    pub dt_min: Option<f64>,
+    /// Largest allowed step (default `tstop / 50`).
+    pub dt_max: Option<f64>,
+    /// Integration method override (default: from [`crate::Options`]).
+    pub method: Option<Method>,
+}
+
+impl TranSpec {
+    /// Creates a spec with default step bounds.
+    pub fn new(tstop: f64) -> Self {
+        TranSpec {
+            tstop,
+            dt_init: None,
+            dt_min: None,
+            dt_max: None,
+            method: None,
+        }
+    }
+
+    /// Builder-style maximum-step override.
+    pub fn with_dt_max(mut self, dt_max: f64) -> Self {
+        self.dt_max = Some(dt_max);
+        self
+    }
+
+    /// Builder-style method override.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = Some(method);
+        self
+    }
+}
+
+/// Result of a transient analysis: the full solution at every accepted time
+/// point.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+    n_nodes: usize,
+    /// Work counters for the whole run.
+    pub stats: SimStats,
+}
+
+impl TranResult {
+    /// Accepted time points (starting at 0).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no points were stored.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage of `node` at stored point `idx`.
+    pub fn voltage_at(&self, idx: usize, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.states[idx][node.index() - 1]
+        }
+    }
+
+    /// Branch current by global index at stored point `idx`.
+    pub fn branch_current_at(&self, idx: usize, branch: usize) -> f64 {
+        self.states[idx][self.n_nodes + branch]
+    }
+
+    /// The voltage of `node` over time as a [`Waveform`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingResult`] if the run stored no points.
+    pub fn voltage_waveform(&self, node: NodeId) -> Result<Waveform, SimError> {
+        if self.is_empty() {
+            return Err(SimError::MissingResult("empty transient result".into()));
+        }
+        let values = (0..self.len()).map(|i| self.voltage_at(i, node)).collect();
+        Waveform::from_samples(self.times.clone(), values)
+            .map_err(|e| SimError::BadAnalysis(e.to_string()))
+    }
+
+    /// The current of global `branch` over time as a [`Waveform`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingResult`] if the run stored no points.
+    pub fn branch_waveform(&self, branch: usize) -> Result<Waveform, SimError> {
+        if self.is_empty() {
+            return Err(SimError::MissingResult("empty transient result".into()));
+        }
+        let values = (0..self.len())
+            .map(|i| self.branch_current_at(i, branch))
+            .collect();
+        Waveform::from_samples(self.times.clone(), values)
+            .map_err(|e| SimError::BadAnalysis(e.to_string()))
+    }
+
+    /// Current waveform through a named branch device (voltage source or
+    /// inductor).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownDevice`] for devices without a branch current.
+    pub fn current_waveform(&self, circuit: &Circuit, device: &str) -> Result<Waveform, SimError> {
+        let idx = circuit
+            .device_index(device)
+            .ok_or_else(|| SimError::UnknownDevice(device.to_string()))?;
+        let branch = circuit.devices()[idx]
+            .branch_index()
+            .ok_or_else(|| SimError::UnknownDevice(format!("{device} has no branch current")))?;
+        self.branch_waveform(branch)
+    }
+}
+
+/// Relative tolerance used when merging breakpoints.
+const BP_MERGE: f64 = 1e-12;
+
+pub(crate) fn solve_tran(circuit: &mut Circuit, spec: &TranSpec) -> Result<TranResult, SimError> {
+    if !(spec.tstop > 0.0 && spec.tstop.is_finite()) {
+        return Err(SimError::BadAnalysis(format!(
+            "tstop must be positive, got {}",
+            spec.tstop
+        )));
+    }
+    let tstop = spec.tstop;
+    let dt_init = spec.dt_init.unwrap_or(tstop / 1000.0);
+    let dt_min = spec.dt_min.unwrap_or(tstop * 1e-9).min(dt_init);
+    let dt_max = spec.dt_max.unwrap_or(tstop / 50.0).max(dt_init);
+    let method = spec.method.unwrap_or(circuit.options.method);
+    let n_nodes = circuit.n_nodes();
+    let n = circuit.n_unknowns();
+
+    // Initial condition: DC operating point, committed into device state.
+    let op_result = circuit.op()?;
+    let mut stats = op_result.stats;
+    let mut x = op_result.solution().to_vec();
+    if n == 0 {
+        return Ok(TranResult {
+            times: vec![0.0],
+            states: vec![x],
+            n_nodes,
+            stats,
+        });
+    }
+
+    // Breakpoints from all devices, merged and sorted.
+    let mut breakpoints: Vec<f64> = circuit
+        .devices()
+        .iter()
+        .flat_map(|d| d.breakpoints(tstop))
+        .collect();
+    breakpoints.push(tstop);
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"));
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() <= BP_MERGE * tstop);
+    let mut bp_iter = breakpoints.into_iter().peekable();
+
+    let mut controller = StepController::new(dt_init, dt_min, dt_max);
+    controller.tol = circuit.options.tran_tol;
+
+    let mut times = vec![0.0];
+    let mut states = vec![x.clone()];
+    // Voltage history for LTE: (t, v) of the last two accepted points.
+    let mut hist_t = [0.0f64, 0.0];
+    let mut hist_x: [Vec<f64>; 2] = [x.clone(), x.clone()];
+    let mut dt_prev = 0.0f64;
+    let mut t = 0.0f64;
+
+    while t < tstop * (1.0 - 1e-12) {
+        // Advance past consumed breakpoints.
+        while let Some(&bp) = bp_iter.peek() {
+            if bp <= t * (1.0 + BP_MERGE) + dt_min * 0.5 {
+                bp_iter.next();
+            } else {
+                break;
+            }
+        }
+        let next_bp = bp_iter.peek().copied().unwrap_or(tstop);
+        let mut dt = controller.current_dt();
+        let mut hit_bp = false;
+        if t + dt >= next_bp - dt_min * 0.5 {
+            dt = next_bp - t;
+            hit_bp = true;
+        }
+        if t + dt > tstop {
+            dt = tstop - t;
+        }
+        let coeffs = Coefficients::new(method, dt, dt_prev);
+        let mode = Mode::Tran {
+            time: t + dt,
+            coeffs,
+        };
+        let solved = newton_solve(circuit, mode, &x, SolveSetup::default(), &mut stats);
+        match solved {
+            Err(SimError::SingularMatrix { detail }) => {
+                return Err(SimError::SingularMatrix { detail });
+            }
+            Err(_) => {
+                stats.rejected_steps += 1;
+                match controller.newton_failure() {
+                    Some(_) => continue,
+                    None => return Err(SimError::TimestepTooSmall { time: t }),
+                }
+            }
+            Ok(out) => {
+                // Local truncation error over node voltages.
+                let mut lte_max = 0.0f64;
+                if dt_prev > 0.0 {
+                    for i in 0..n_nodes {
+                        let lte = local_truncation_error(
+                            method,
+                            dt,
+                            out.x[i],
+                            hist_x[0][i],
+                            hist_x[1][i],
+                            hist_t[0] - hist_t[1],
+                        );
+                        lte_max = lte_max.max(lte);
+                    }
+                }
+                match controller.advance(lte_max) {
+                    StepOutcome::Reject { .. } if dt > dt_min * 1.5 => {
+                        stats.rejected_steps += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                // Accept.
+                let t_new = t + dt;
+                let sv = StateView {
+                    x: &out.x,
+                    n_nodes,
+                    time: t_new,
+                    mode,
+                };
+                for d in circuit.devices_mut() {
+                    d.accept_step(&sv);
+                }
+                hist_x[1] = std::mem::replace(&mut hist_x[0], out.x.clone());
+                hist_t[1] = hist_t[0];
+                hist_t[0] = t_new;
+                x = out.x;
+                times.push(t_new);
+                states.push(x.clone());
+                stats.accepted_steps += 1;
+                t = t_new;
+                dt_prev = dt;
+                if hit_bp {
+                    // Restart cautiously after a discontinuity.
+                    controller.clamp_to(dt_init);
+                    dt_prev = 0.0;
+                }
+            }
+        }
+        // Runaway guard: an implausible number of points indicates a step
+        // collapse; fail loudly rather than filling memory.
+        if times.len() > 2_000_000 {
+            return Err(SimError::NoConvergence {
+                analysis: "tran",
+                detail: format!("more than 2e6 time points at t = {t:.3e}"),
+            });
+        }
+    }
+
+    Ok(TranResult {
+        times,
+        states,
+        n_nodes,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::SourceWave;
+
+    #[test]
+    fn rejects_bad_tstop() {
+        let mut c = Circuit::new();
+        assert!(c.tran(&TranSpec::new(0.0)).is_err());
+        assert!(c.tran(&TranSpec::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn rc_charge_curve() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWave::dc(1.0));
+        c.add_resistor("R1", a, b, 1.0e3).unwrap();
+        c.add_capacitor("C1", b, Circuit::GROUND, 1.0e-6);
+        // DC op gives the capacitor 1 V already (steady state); use a pulse
+        // so the transient actually starts at 0.
+        let mut c2 = Circuit::new();
+        let a2 = c2.node("a");
+        let b2 = c2.node("b");
+        c2.add_vsource(
+            "V1",
+            a2,
+            Circuit::GROUND,
+            SourceWave::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 0.0),
+        );
+        c2.add_resistor("R1", a2, b2, 1.0e3).unwrap();
+        c2.add_capacitor("C1", b2, Circuit::GROUND, 1.0e-6);
+        let r = c2.tran(&TranSpec::new(5.0e-3)).unwrap();
+        let w = r.voltage_waveform(b2).unwrap();
+        // v(t) = 1 − e^{−t/RC}; at t = 1 ms = 1 RC: 0.632.
+        let v_tau = w.value_at(1.0e-3).unwrap();
+        assert!((v_tau - 0.632).abs() < 0.02, "v(tau) = {v_tau}");
+        // At t = 5 RC the exact value is 1 − e⁻⁵ ≈ 0.99326.
+        let v_end = *w.values().last().unwrap();
+        assert!((v_end - 0.99326).abs() < 2e-3, "v(end) = {v_end}");
+    }
+
+    #[test]
+    fn sine_through_rc_attenuates() {
+        // 1 kHz sine, RC pole at 159 Hz → gain ≈ 0.157.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWave::sine(0.0, 1.0, 1.0e3));
+        c.add_resistor("R1", a, b, 1.0e3).unwrap();
+        c.add_capacitor("C1", b, Circuit::GROUND, 1.0e-6);
+        let r = c.tran(&TranSpec::new(5.0e-3)).unwrap();
+        let w = r.voltage_waveform(b).unwrap();
+        // Steady-state amplitude over the last two cycles.
+        let tail: Vec<f64> = w
+            .times()
+            .iter()
+            .zip(w.values())
+            .filter(|(t, _)| **t > 3.0e-3)
+            .map(|(_, v)| *v)
+            .collect();
+        let peak = tail.iter().cloned().fold(0.0f64, f64::max);
+        let expect = 1.0 / (1.0 + (2.0 * std::f64::consts::PI * 1.0e3 * 1.0e-3).powi(2)).sqrt();
+        assert!((peak - expect).abs() < 0.05, "peak {peak} vs {expect}");
+    }
+
+    #[test]
+    fn lc_oscillation_frequency() {
+        // An LC tank kicked by an initial inductor current via a pulse.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_isource(
+            "I1",
+            Circuit::GROUND,
+            a,
+            SourceWave::pulse(0.0, 1e-3, 0.0, 1e-9, 1e-9, 1e-4, 1.0),
+        );
+        c.add_inductor("L1", a, Circuit::GROUND, 1.0e-3).unwrap();
+        c.add_capacitor("C1", a, Circuit::GROUND, 1.0e-6);
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0e5).unwrap();
+        let r = c.tran(&TranSpec::new(1.0e-3).with_dt_max(2e-6)).unwrap();
+        let w = r.voltage_waveform(a).unwrap();
+        // f0 = 1/(2π√(LC)) ≈ 5.03 kHz → period 198.7 µs. Count zero
+        // crossings in the ringing tail.
+        let crossings =
+            gabm_numeric::measure::crossings(&w, 0.0, gabm_numeric::measure::Edge::Rising)
+                .unwrap();
+        assert!(crossings.len() >= 2, "no oscillation detected");
+        let period = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
+        assert!(
+            (period - 198.7e-6).abs() < 20e-6,
+            "period = {period:.3e} s"
+        );
+    }
+
+    #[test]
+    fn breakpoints_are_hit() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWave::pulse(0.0, 1.0, 0.5e-3, 1e-6, 1e-6, 0.2e-3, 0.0),
+        );
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0e3).unwrap();
+        let r = c.tran(&TranSpec::new(1.0e-3)).unwrap();
+        // The pulse edges must appear as exact time points.
+        let has = |t0: f64| r.times().iter().any(|t| (t - t0).abs() < 1e-12);
+        assert!(has(0.5e-3), "missing breakpoint at pulse start");
+        assert!(has(0.5e-3 + 1e-6), "missing breakpoint at rise end");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWave::sine(0.0, 1.0, 1.0e3));
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0e3).unwrap();
+        let r = c.tran(&TranSpec::new(1.0e-3)).unwrap();
+        assert!(r.stats.accepted_steps > 10);
+        assert!(r.stats.newton_iterations >= r.stats.accepted_steps);
+        assert_eq!(r.times().len(), r.stats.accepted_steps + 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! The four linear controlled sources (VCVS, VCCS, CCCS, CCVS).
+
+use crate::circuit::NodeId;
+use crate::device::{AcStamper, Device, Stamper, Unknown};
+use gabm_numeric::Complex64;
+
+/// Voltage-controlled voltage source (`E` element): `v_out = mu·v_ctl`.
+/// Owns one branch unknown for its output current.
+#[derive(Debug, Clone)]
+pub struct Vcvs {
+    name: String,
+    out_p: NodeId,
+    out_m: NodeId,
+    ctl_p: NodeId,
+    ctl_m: NodeId,
+    mu: f64,
+    branch: usize,
+}
+
+impl Vcvs {
+    /// Creates a VCVS with voltage gain `mu`.
+    pub fn new(
+        name: &str,
+        out_p: NodeId,
+        out_m: NodeId,
+        ctl_p: NodeId,
+        ctl_m: NodeId,
+        mu: f64,
+    ) -> Self {
+        Vcvs {
+            name: name.to_string(),
+            out_p,
+            out_m,
+            ctl_p,
+            ctl_m,
+            mu,
+            branch: usize::MAX,
+        }
+    }
+}
+
+impl Device for Vcvs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_branches(&self) -> usize {
+        1
+    }
+
+    fn set_branch_base(&mut self, base: usize) {
+        self.branch = base;
+    }
+
+    fn branch_index(&self) -> Option<usize> {
+        Some(self.branch)
+    }
+
+    fn stamp(&mut self, s: &mut Stamper) {
+        let br = Unknown::Branch(self.branch);
+        s.add(Unknown::Node(self.out_p), br, 1.0);
+        s.add(Unknown::Node(self.out_m), br, -1.0);
+        // v_outp - v_outm - mu(v_ctlp - v_ctlm) = 0.
+        s.add(br, Unknown::Node(self.out_p), 1.0);
+        s.add(br, Unknown::Node(self.out_m), -1.0);
+        s.add(br, Unknown::Node(self.ctl_p), -self.mu);
+        s.add(br, Unknown::Node(self.ctl_m), self.mu);
+    }
+
+    fn stamp_ac(&mut self, s: &mut AcStamper) {
+        let br = Unknown::Branch(self.branch);
+        let one = Complex64::ONE;
+        s.add(Unknown::Node(self.out_p), br, one);
+        s.add(Unknown::Node(self.out_m), br, -one);
+        s.add(br, Unknown::Node(self.out_p), one);
+        s.add(br, Unknown::Node(self.out_m), -one);
+        s.add(br, Unknown::Node(self.ctl_p), Complex64::from_real(-self.mu));
+        s.add(br, Unknown::Node(self.ctl_m), Complex64::from_real(self.mu));
+    }
+}
+
+/// Voltage-controlled current source (`G` element): `i_out = gm·v_ctl`,
+/// flowing from `out_p` through the source into `out_m`.
+#[derive(Debug, Clone)]
+pub struct Vccs {
+    name: String,
+    out_p: NodeId,
+    out_m: NodeId,
+    ctl_p: NodeId,
+    ctl_m: NodeId,
+    gm: f64,
+}
+
+impl Vccs {
+    /// Creates a VCCS with transconductance `gm` (siemens).
+    pub fn new(
+        name: &str,
+        out_p: NodeId,
+        out_m: NodeId,
+        ctl_p: NodeId,
+        ctl_m: NodeId,
+        gm: f64,
+    ) -> Self {
+        Vccs {
+            name: name.to_string(),
+            out_p,
+            out_m,
+            ctl_p,
+            ctl_m,
+            gm,
+        }
+    }
+}
+
+impl Device for Vccs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp(&mut self, s: &mut Stamper) {
+        let (op, om) = (Unknown::Node(self.out_p), Unknown::Node(self.out_m));
+        let (cp, cm) = (Unknown::Node(self.ctl_p), Unknown::Node(self.ctl_m));
+        s.add(op, cp, self.gm);
+        s.add(op, cm, -self.gm);
+        s.add(om, cp, -self.gm);
+        s.add(om, cm, self.gm);
+    }
+
+    fn stamp_ac(&mut self, s: &mut AcStamper) {
+        let g = Complex64::from_real(self.gm);
+        let (op, om) = (Unknown::Node(self.out_p), Unknown::Node(self.out_m));
+        let (cp, cm) = (Unknown::Node(self.ctl_p), Unknown::Node(self.ctl_m));
+        s.add(op, cp, g);
+        s.add(op, cm, -g);
+        s.add(om, cp, -g);
+        s.add(om, cm, g);
+    }
+}
+
+/// Current-controlled current source (`F` element): `i_out = gain·i_ctl`,
+/// where `i_ctl` is the branch current of a named voltage source.
+#[derive(Debug, Clone)]
+pub struct Cccs {
+    name: String,
+    out_p: NodeId,
+    out_m: NodeId,
+    ctl_branch: usize,
+    gain: f64,
+}
+
+impl Cccs {
+    /// Creates a CCCS referencing the controlling source's branch index.
+    pub fn new(name: &str, out_p: NodeId, out_m: NodeId, ctl_branch: usize, gain: f64) -> Self {
+        Cccs {
+            name: name.to_string(),
+            out_p,
+            out_m,
+            ctl_branch,
+            gain,
+        }
+    }
+}
+
+impl Device for Cccs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp(&mut self, s: &mut Stamper) {
+        let br = Unknown::Branch(self.ctl_branch);
+        s.add(Unknown::Node(self.out_p), br, self.gain);
+        s.add(Unknown::Node(self.out_m), br, -self.gain);
+    }
+
+    fn stamp_ac(&mut self, s: &mut AcStamper) {
+        let br = Unknown::Branch(self.ctl_branch);
+        let g = Complex64::from_real(self.gain);
+        s.add(Unknown::Node(self.out_p), br, g);
+        s.add(Unknown::Node(self.out_m), br, -g);
+    }
+}
+
+/// Current-controlled voltage source (`H` element): `v_out = rm·i_ctl`.
+/// Owns one branch unknown for its output current.
+#[derive(Debug, Clone)]
+pub struct Ccvs {
+    name: String,
+    out_p: NodeId,
+    out_m: NodeId,
+    ctl_branch: usize,
+    rm: f64,
+    branch: usize,
+}
+
+impl Ccvs {
+    /// Creates a CCVS with transresistance `rm` (ohms).
+    pub fn new(name: &str, out_p: NodeId, out_m: NodeId, ctl_branch: usize, rm: f64) -> Self {
+        Ccvs {
+            name: name.to_string(),
+            out_p,
+            out_m,
+            ctl_branch,
+            rm,
+            branch: usize::MAX,
+        }
+    }
+}
+
+impl Device for Ccvs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_branches(&self) -> usize {
+        1
+    }
+
+    fn set_branch_base(&mut self, base: usize) {
+        self.branch = base;
+    }
+
+    fn branch_index(&self) -> Option<usize> {
+        Some(self.branch)
+    }
+
+    fn stamp(&mut self, s: &mut Stamper) {
+        let br = Unknown::Branch(self.branch);
+        s.add(Unknown::Node(self.out_p), br, 1.0);
+        s.add(Unknown::Node(self.out_m), br, -1.0);
+        // v_outp - v_outm - rm·i_ctl = 0.
+        s.add(br, Unknown::Node(self.out_p), 1.0);
+        s.add(br, Unknown::Node(self.out_m), -1.0);
+        s.add(br, Unknown::Branch(self.ctl_branch), -self.rm);
+    }
+
+    fn stamp_ac(&mut self, s: &mut AcStamper) {
+        let br = Unknown::Branch(self.branch);
+        let one = Complex64::ONE;
+        s.add(Unknown::Node(self.out_p), br, one);
+        s.add(Unknown::Node(self.out_m), br, -one);
+        s.add(br, Unknown::Node(self.out_p), one);
+        s.add(br, Unknown::Node(self.out_m), -one);
+        s.add(
+            br,
+            Unknown::Branch(self.ctl_branch),
+            Complex64::from_real(-self.rm),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Mode;
+
+    #[test]
+    fn vcvs_stamp_pattern() {
+        let n1 = NodeId::from_index(1);
+        let n2 = NodeId::from_index(2);
+        let mut e = Vcvs::new("E1", n1, NodeId::ground(), n2, NodeId::ground(), 10.0);
+        e.set_branch_base(0);
+        let mut s = Stamper::new(2, 1, Mode::Dc);
+        e.stamp(&mut s);
+        let (m, _) = s.finish();
+        assert_eq!(m[(0, 2)], 1.0); // KCL out_p
+        assert_eq!(m[(2, 0)], 1.0); // branch row: +v_outp
+        assert_eq!(m[(2, 1)], -10.0); // branch row: -mu·v_ctlp
+    }
+
+    #[test]
+    fn vccs_stamp_pattern() {
+        let n1 = NodeId::from_index(1);
+        let n2 = NodeId::from_index(2);
+        let mut g = Vccs::new("G1", n1, NodeId::ground(), n2, NodeId::ground(), 1e-3);
+        let mut s = Stamper::new(2, 0, Mode::Dc);
+        g.stamp(&mut s);
+        let (m, _) = s.finish();
+        assert_eq!(m[(0, 1)], 1e-3);
+    }
+
+    #[test]
+    fn cccs_uses_control_branch() {
+        let n1 = NodeId::from_index(1);
+        let mut f = Cccs::new("F1", n1, NodeId::ground(), 0, 5.0);
+        let mut s = Stamper::new(1, 1, Mode::Dc);
+        f.stamp(&mut s);
+        let (m, _) = s.finish();
+        assert_eq!(m[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn ccvs_couples_branches() {
+        let n1 = NodeId::from_index(1);
+        let mut h = Ccvs::new("H1", n1, NodeId::ground(), 0, 100.0);
+        h.set_branch_base(1);
+        let mut s = Stamper::new(1, 2, Mode::Dc);
+        h.stamp(&mut s);
+        let (m, _) = s.finish();
+        // Output branch row (index 1+1=2) couples to control branch (col 1).
+        assert_eq!(m[(2, 1)], -100.0);
+        assert_eq!(m[(2, 0)], 1.0);
+    }
+}

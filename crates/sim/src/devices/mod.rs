@@ -1,0 +1,19 @@
+//! Device library: passives, sources, semiconductors and the behavioural
+//! bridge.
+
+pub mod behavioral;
+pub mod capacitor;
+pub mod controlled;
+pub mod diode;
+pub mod inductor;
+pub mod isource;
+pub mod mosfet;
+pub mod resistor;
+pub mod switch;
+pub mod vsource;
+pub mod wave;
+
+pub use behavioral::{BehavioralModel, EvalCtx};
+pub use diode::DiodeParams;
+pub use mosfet::{MosType, MosfetParams};
+pub use wave::SourceWave;

@@ -1,0 +1,143 @@
+//! Smooth voltage-controlled switch.
+
+use crate::circuit::NodeId;
+use crate::device::{AcStamper, Device, Stamper};
+use gabm_numeric::Complex64;
+
+/// A voltage-controlled switch with a smooth (tanh) conductance transition.
+///
+/// Hard on/off switches are a classic source of the convergence problems the
+/// paper's §4 note warns about; interpolating the log-conductance through a
+/// `tanh` keeps the Jacobian continuous.
+#[derive(Debug, Clone)]
+pub struct VSwitch {
+    name: String,
+    a: NodeId,
+    b: NodeId,
+    ctl_p: NodeId,
+    ctl_m: NodeId,
+    v_threshold: f64,
+    /// Transition half-width in volts.
+    pub v_width: f64,
+    g_on: f64,
+    g_off: f64,
+    g_last: f64,
+}
+
+impl VSwitch {
+    /// Creates a switch between `a` and `b`, closed when
+    /// `v(ctl_p) − v(ctl_m) > v_threshold`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ctl_p: NodeId,
+        ctl_m: NodeId,
+        v_threshold: f64,
+        r_on: f64,
+        r_off: f64,
+    ) -> Self {
+        VSwitch {
+            name: name.to_string(),
+            a,
+            b,
+            ctl_p,
+            ctl_m,
+            v_threshold,
+            v_width: 0.1,
+            g_on: 1.0 / r_on.max(1e-3),
+            g_off: 1.0 / r_off.min(1e12).max(1.0),
+            g_last: 0.0,
+        }
+    }
+
+    /// Conductance for a control voltage `vc`.
+    fn conductance(&self, vc: f64) -> f64 {
+        // Interpolate log g so the off/on ratio (often 1e9) stays smooth.
+        let x = ((vc - self.v_threshold) / self.v_width).tanh();
+        let lg_on = self.g_on.ln();
+        let lg_off = self.g_off.ln();
+        (0.5 * (lg_on + lg_off) + 0.5 * x * (lg_on - lg_off)).exp()
+    }
+}
+
+impl Device for VSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp(&mut self, s: &mut Stamper) {
+        let vc = s.v(self.ctl_p) - s.v(self.ctl_m);
+        let g = self.conductance(vc);
+        self.g_last = g;
+        // The control-voltage dependence of g is deliberately left out of
+        // the Jacobian (treated as a secant term); the smooth transition
+        // keeps the fixed point stable.
+        s.stamp_conductance(self.a, self.b, g);
+    }
+
+    fn stamp_ac(&mut self, s: &mut AcStamper) {
+        s.stamp_admittance(self.a, self.b, Complex64::from_real(self.g_last));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw() -> VSwitch {
+        VSwitch::new(
+            "S1",
+            NodeId::from_index(1),
+            NodeId::ground(),
+            NodeId::from_index(2),
+            NodeId::ground(),
+            0.5,
+            1.0,
+            1e9,
+        )
+    }
+
+    #[test]
+    fn extremes() {
+        let s = sw();
+        assert!((s.conductance(5.0) - 1.0).abs() / 1.0 < 1e-3);
+        assert!(s.conductance(-5.0) < 2e-9);
+    }
+
+    #[test]
+    fn midpoint_is_geometric_mean() {
+        let s = sw();
+        let g_mid = s.conductance(0.5);
+        let geo = (1.0f64 * 1e-9).sqrt();
+        assert!((g_mid - geo).abs() / geo < 1e-6);
+    }
+
+    #[test]
+    fn monotone_transition() {
+        let s = sw();
+        let mut prev = 0.0;
+        for k in 0..100 {
+            let vc = -1.0 + 2.0 * k as f64 / 99.0;
+            let g = s.conductance(vc);
+            assert!(g >= prev);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn stamp_uses_control_voltage() {
+        use crate::device::Mode;
+        let mut s_dev = sw();
+        let mut st = Stamper::new(2, 0, Mode::Dc);
+        st.reset(&[0.0, 5.0], Mode::Dc); // control high → on
+        s_dev.stamp(&mut st);
+        let (m, _) = st.finish();
+        assert!(m[(0, 0)] > 0.9);
+    }
+}

@@ -1,0 +1,157 @@
+//! Independent voltage source.
+
+use crate::circuit::NodeId;
+use crate::device::{AcStamper, Device, Mode, Stamper, Unknown};
+use crate::devices::wave::SourceWave;
+use gabm_numeric::Complex64;
+
+/// An independent voltage source with one extra MNA branch.
+///
+/// The branch current flows from `plus` through the source to `minus`
+/// (positive current = the source sinks current at its + terminal, SPICE
+/// convention).
+#[derive(Debug, Clone)]
+pub struct Vsource {
+    name: String,
+    plus: NodeId,
+    minus: NodeId,
+    /// Waveform delivered by the source.
+    pub wave: SourceWave,
+    /// AC small-signal magnitude (volts); 0 for sources that are quiet in AC.
+    pub ac_magnitude: f64,
+    branch: usize,
+}
+
+impl Vsource {
+    /// Creates a voltage source from `plus` to `minus`.
+    pub fn new(name: &str, plus: NodeId, minus: NodeId, wave: SourceWave) -> Self {
+        Vsource {
+            name: name.to_string(),
+            plus,
+            minus,
+            wave,
+            ac_magnitude: 0.0,
+            branch: usize::MAX,
+        }
+    }
+
+    /// Builder-style setter marking this source as the AC stimulus.
+    pub fn with_ac(mut self, magnitude: f64) -> Self {
+        self.ac_magnitude = magnitude;
+        self
+    }
+}
+
+impl Device for Vsource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_branches(&self) -> usize {
+        1
+    }
+
+    fn set_branch_base(&mut self, base: usize) {
+        self.branch = base;
+    }
+
+    fn branch_index(&self) -> Option<usize> {
+        Some(self.branch)
+    }
+
+    fn set_dc_value(&mut self, value: f64) -> bool {
+        self.wave.set_dc(value);
+        true
+    }
+
+    fn stamp(&mut self, s: &mut Stamper) {
+        let br = Unknown::Branch(self.branch);
+        let np = Unknown::Node(self.plus);
+        let nm = Unknown::Node(self.minus);
+        s.add(np, br, 1.0);
+        s.add(nm, br, -1.0);
+        s.add(br, np, 1.0);
+        s.add(br, nm, -1.0);
+        let value = match s.mode {
+            Mode::Dc => self.wave.dc_value(),
+            Mode::Tran { time, .. } => self.wave.value_at(time),
+        };
+        s.add_rhs(br, value * s.source_scale);
+    }
+
+    fn stamp_ac(&mut self, s: &mut AcStamper) {
+        let br = Unknown::Branch(self.branch);
+        let np = Unknown::Node(self.plus);
+        let nm = Unknown::Node(self.minus);
+        s.add(np, br, Complex64::ONE);
+        s.add(nm, br, -Complex64::ONE);
+        s.add(br, np, Complex64::ONE);
+        s.add(br, nm, -Complex64::ONE);
+        s.add_rhs(br, Complex64::from_real(self.ac_magnitude));
+    }
+
+    fn breakpoints(&self, tstop: f64) -> Vec<f64> {
+        self.wave.breakpoints(tstop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_branch_equation() {
+        let p = NodeId::from_index(1);
+        let mut v = Vsource::new("V1", p, NodeId::ground(), SourceWave::dc(5.0));
+        v.set_branch_base(0);
+        let mut s = Stamper::new(1, 1, Mode::Dc);
+        v.stamp(&mut s);
+        let (m, rhs) = s.finish();
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(1, 0)], 1.0);
+        assert_eq!(rhs[1], 5.0);
+    }
+
+    #[test]
+    fn source_scale_applies() {
+        let p = NodeId::from_index(1);
+        let mut v = Vsource::new("V1", p, NodeId::ground(), SourceWave::dc(10.0));
+        v.set_branch_base(0);
+        let mut s = Stamper::new(1, 1, Mode::Dc);
+        s.source_scale = 0.5;
+        v.stamp(&mut s);
+        let (_, rhs) = s.finish();
+        assert_eq!(rhs[1], 5.0);
+    }
+
+    #[test]
+    fn dc_sweep_hook() {
+        let p = NodeId::from_index(1);
+        let mut v = Vsource::new("V1", p, NodeId::ground(), SourceWave::sine(0.0, 1.0, 50.0));
+        assert!(v.set_dc_value(2.0));
+        assert_eq!(v.wave, SourceWave::Dc(2.0));
+    }
+
+    #[test]
+    fn ac_rhs_uses_magnitude() {
+        let p = NodeId::from_index(1);
+        let mut v = Vsource::new("V1", p, NodeId::ground(), SourceWave::dc(0.0)).with_ac(1.0);
+        v.set_branch_base(0);
+        let mut s = AcStamper::new(1, 1, 1.0);
+        v.stamp_ac(&mut s);
+        let (_, rhs) = s.finish();
+        assert_eq!(rhs[1], Complex64::ONE);
+    }
+
+    #[test]
+    fn pulse_reports_breakpoints() {
+        let p = NodeId::from_index(1);
+        let v = Vsource::new(
+            "V1",
+            p,
+            NodeId::ground(),
+            SourceWave::pulse(0.0, 1.0, 1e-6, 1e-9, 1e-9, 1e-6, 0.0),
+        );
+        assert!(!v.breakpoints(1e-3).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! A miniature SPICE front end: read a netlist file, solve the operating
+//! point and optionally a transient, print results — the workflow a 1994
+//! user had with the paper's SPICE-level baseline.
+//!
+//! ```text
+//! cargo run --example mini_spice -- netlists/cmos_comparator.cir
+//! cargo run --example mini_spice -- netlists/cmos_comparator.cir --tran 10u out
+//! ```
+
+use gabm::numeric::plot::{ascii_plot, PlotOptions};
+use gabm::sim::analysis::tran::TranSpec;
+use gabm::sim::circuit::NodeId;
+use gabm::sim::netlist::{parse_netlist, parse_value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: mini_spice <netlist.cir> [--tran <tstop> <node>...]");
+        std::process::exit(2);
+    };
+    let src = std::fs::read_to_string(path)?;
+    let mut ckt = parse_netlist(&src)?;
+    println!(
+        "{path}: {} devices, {} nodes, {} unknowns",
+        ckt.n_devices(),
+        ckt.n_nodes(),
+        ckt.n_unknowns()
+    );
+
+    // Operating point first, always.
+    let op = ckt.op()?;
+    println!("\noperating point:");
+    for idx in 1..=ckt.n_nodes() {
+        let node = NodeId::from_index(idx);
+        println!(
+            "  v({:<10}) = {:>12.6} V",
+            ckt.node_name(node),
+            op.voltage(node)
+        );
+    }
+    println!(
+        "  ({} Newton iterations, {} factorizations)",
+        op.stats.newton_iterations, op.stats.factorizations
+    );
+
+    // Optional transient.
+    if let Some(pos) = args.iter().position(|a| a == "--tran") {
+        let tstop = parse_value(args.get(pos + 1).map(String::as_str).unwrap_or("1m"))?;
+        let result = ckt.tran(&TranSpec::new(tstop))?;
+        println!(
+            "\ntransient to {tstop:.3e} s: {} steps ({} rejected), {} Newton iterations",
+            result.stats.accepted_steps,
+            result.stats.rejected_steps,
+            result.stats.newton_iterations
+        );
+        let watch: Vec<&String> = args[pos + 2..].iter().collect();
+        let mut traces = Vec::new();
+        for name in &watch {
+            if let Some(node) = ckt.find_node(name) {
+                traces.push((name.as_str(), result.voltage_waveform(node)?));
+            } else {
+                eprintln!("  (no node named '{name}')");
+            }
+        }
+        if !traces.is_empty() {
+            let refs: Vec<(&str, &gabm::numeric::Waveform)> =
+                traces.iter().map(|(n, w)| (*n, w)).collect();
+            println!("{}", ascii_plot(&refs, &PlotOptions::default())?);
+        }
+    }
+    Ok(())
+}

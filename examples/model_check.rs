@@ -1,0 +1,60 @@
+//! The §2.4 model check: surround a generated model with extraction rigs,
+//! re-measure its instance parameters, and compare them with the assigned
+//! values — the SimBoy workflow.
+//!
+//! ```text
+//! cargo run --example model_check
+//! ```
+
+use gabm::charac::{check_model, rigs, validity, Bias, CharacError};
+use gabm::codegen::{generate, Backend};
+use gabm::core::constructs::InputStageSpec;
+use gabm::fas::compile;
+use gabm::models::dut::{cmos_comparator_dut, fas_dut};
+use gabm::models::CmosComparator;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- behavioural input stage ------------------------------------------
+    let rin = 2.2e6;
+    let cin = 3.3e-12;
+    let diagram = InputStageSpec::new("in", 1.0 / rin, cin).diagram()?;
+    let code = generate(&diagram, Backend::Fas)?;
+    let model = compile(&code.text)?;
+    let dut = fas_dut(model, BTreeMap::new())?;
+    let x_rin = rigs::input_resistance(&dut, "in", &[])?;
+    let x_cin = rigs::input_capacitance(&dut, "in", &[], cin)?;
+    let report = check_model(
+        "input_stage",
+        &[(("rin", rin), &x_rin), (("cin", cin), &x_cin)],
+        0.15,
+    );
+    println!("{report}\n");
+
+    // --- transistor-level comparator, characterized by the same rigs -------
+    let dut = cmos_comparator_dut(CmosComparator::new());
+    let bias = [
+        ("inn", Bias::Ground),
+        ("strobe", Bias::Voltage(2.5)),
+        ("vdd", Bias::Voltage(2.5)),
+        ("vss", Bias::Voltage(-2.5)),
+    ];
+    let xs = rigs::dc_transfer(&dut, "inp", "out", &bias, -0.4, 0.4, 0.02)?;
+    println!("CMOS comparator DC transfer extractions:");
+    for x in &xs {
+        println!("  {x}");
+    }
+
+    // --- validity range -----------------------------------------------------
+    // The behavioural input stage is exact for its RC; show the scan
+    // machinery on a synthetic deviation model instead: valid while the
+    // demanded d/dt is below 10^6 V/s.
+    let scan = validity::scan_validity("slope demand [V/s]", 1.0e3, 1.0e8, 21, 0.1, |s| {
+        Ok::<f64, CharacError>(if s < 1.0e6 { 0.0 } else { (s / 1.0e6).ln() })
+    })?;
+    println!(
+        "\nvalidity: {} in [{:.3e}, {:.3e}] after {} probe runs",
+        scan.axis, scan.lo, scan.hi, scan.evaluations
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # gabm — a Graphical Approach to Analogue Behavioural Modelling
+//!
+//! Facade crate re-exporting the whole `gabm` workspace, a from-scratch Rust
+//! reproduction of *Moser, Nussbaum, Amann, Astier, Pellandini — "A Graphical
+//! Approach to Analogue Behavioural Modelling", Proc. EDTC (DATE) 1994*.
+//!
+//! The workspace implements the paper's complete pipeline:
+//!
+//! 1. **Definition card** ([`core::card`]) — external view of a model: pins,
+//!    parameters, characteristics.
+//! 2. **Functional diagram** ([`core::diagram`]) — a graph of Graphical
+//!    Building Symbols with quantity-kind checking ("oil and water will not
+//!    mix") and single-driver net rules.
+//! 3. **Code generation** ([`codegen`]) — ELDO-FAS, VHDL-AMS-like and
+//!    MAST-like backends assembling generic code segments in signal-flow
+//!    order.
+//! 4. **Simulation** ([`fas`] + [`sim`]) — the generated FAS code is parsed
+//!    and executed as a behavioural device inside a SPICE-class analogue
+//!    simulator (MNA, Newton–Raphson, adaptive-step transient).
+//! 5. **Model check** ([`charac`]) — extraction rigs re-measure the model's
+//!    instance parameters and compare them with the assigned values.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gabm::core::constructs::InputStageSpec;
+//! use gabm::codegen::{generate, Backend};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build the paper's Fig. 2 input stage as a functional diagram...
+//! let diagram = InputStageSpec::new("in", 1.0e-6, 5.0e-12).diagram()?;
+//! // ...and generate the §4.2 ELDO-FAS listing from it.
+//! let code = generate(&diagram, Backend::Fas)?;
+//! assert!(code.text.contains("volt.value(in)"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gabm_charac as charac;
+pub use gabm_codegen as codegen;
+pub use gabm_core as core;
+pub use gabm_fas as fas;
+pub use gabm_models as models;
+pub use gabm_numeric as numeric;
+pub use gabm_schematic as schematic;
+pub use gabm_sim as sim;

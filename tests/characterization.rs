@@ -1,0 +1,121 @@
+//! Higher-order characterization flows on the library models: response
+//! time, frequency response, Monte-Carlo parameter scatter.
+
+use gabm::charac::monte_carlo::{monte_carlo, Scatter};
+use gabm::charac::{rigs, Bias};
+use gabm::codegen::{generate, Backend};
+use gabm::core::constructs::InputStageSpec;
+use gabm::fas::compile;
+use gabm::models::comparator::ComparatorSpec;
+use gabm::models::dut::fas_dut;
+use std::collections::BTreeMap;
+
+/// Strobe-to-decision delay of the behavioural comparator: dominated by the
+/// slew limit, so it must scale inversely with the slew rate.
+#[test]
+fn comparator_response_time_tracks_slew_rate() {
+    let mut delays = Vec::new();
+    for slew in [1.0e6, 4.0e6] {
+        let spec = ComparatorSpec {
+            slew_rise: slew,
+            slew_fall: slew,
+            ..ComparatorSpec::default()
+        };
+        let model = compile(&spec.fas_code().unwrap()).unwrap();
+        let dut = fas_dut(model, BTreeMap::new()).unwrap();
+        let bias = [
+            ("inp", Bias::Voltage(0.3)),
+            ("inn", Bias::Voltage(-0.3)),
+            ("outp", Bias::Open),
+            ("outn", Bias::Open),
+            ("vdd", Bias::Voltage(2.5)),
+            ("vss", Bias::Voltage(-2.5)),
+        ];
+        let x = rigs::response_time(
+            &dut, "strobe", "outp", &bias, -1.0, 1.0, 1.0, 40.0e-6,
+        )
+        .unwrap();
+        // Slewing from 0 to the +1 V threshold takes ~1/slew seconds.
+        let expect = 1.0 / slew;
+        assert!(
+            (x.value - expect).abs() / expect < 0.5,
+            "slew {slew}: t = {:.3e}, expected ~{expect:.3e}",
+            x.value
+        );
+        delays.push(x.value);
+    }
+    // 4x the slew rate ⇒ roughly a quarter of the delay.
+    let ratio = delays[0] / delays[1];
+    assert!((2.5..6.0).contains(&ratio), "delay ratio {ratio}");
+}
+
+/// The behavioural input stage is a one-pole RC from the driving source's
+/// point of view; its measured corner tracks 1/(2π·(Rs ∥ Rin)·Cin).
+#[test]
+fn input_stage_frequency_response_has_rc_pole() {
+    // Use a big Cin so the pole lands in a cheap-to-simulate band.
+    let rin = 1.0e4;
+    let cin = 1.0e-6;
+    let diagram = InputStageSpec::new("in", 1.0 / rin, cin).diagram().unwrap();
+    let code = generate(&diagram, Backend::Fas).unwrap();
+    let model = compile(&code.text).unwrap();
+    // Wrap the DUT behind a series resistor: measure across the model.
+    let dut = gabm::charac::FnDut::new(&["drive", "in"], move |ckt, name, nodes| {
+        let machine = model
+            .instantiate(&BTreeMap::new())
+            .expect("defaults instantiate");
+        ckt.add_resistor(&format!("{name}_RS"), nodes[0], nodes[1], rin)?;
+        ckt.add_behavioral(&format!("{name}_X"), &[nodes[1]], Box::new(machine))
+    });
+    // Pole of the loaded divider: f = 1/(2π (Rs∥Rin) C) = 1/(2π·5k·1µ) ≈ 31.8 Hz.
+    let f_pole = 1.0 / (2.0 * std::f64::consts::PI * (rin / 2.0) * cin);
+    let pts = rigs::frequency_response(
+        &dut,
+        "drive",
+        "in",
+        &[],
+        &[f_pole / 20.0, f_pole, f_pole * 20.0],
+        1.0,
+        3,
+    )
+    .unwrap();
+    // Low frequency: divider 0.5; at the pole: 0.5/√2; high: rolled off.
+    assert!((pts[0].gain - 0.5).abs() < 0.02, "LF gain {}", pts[0].gain);
+    assert!(
+        (pts[1].gain - 0.3536).abs() < 0.03,
+        "corner gain {}",
+        pts[1].gain
+    );
+    assert!(pts[2].gain < 0.06, "HF gain {}", pts[2].gain);
+}
+
+/// Monte-Carlo over the input-stage conductance: the extracted input
+/// resistance distribution mirrors the parameter scatter.
+#[test]
+fn monte_carlo_rin_scatter() {
+    let diagram = InputStageSpec::new("in", 1.0e-6, 5.0e-12).diagram().unwrap();
+    let code = generate(&diagram, Backend::Fas).unwrap();
+    let model = compile(&code.text).unwrap();
+    let mut scatters = BTreeMap::new();
+    scatters.insert("gin".to_string(), Scatter::new(1.0e-6, 0.05));
+    let (dist, failures) = monte_carlo(&scatters, 24, 1994, |params| {
+        let mut overrides = BTreeMap::new();
+        overrides.insert("gin".to_string(), params["gin"]);
+        let dut = fas_dut(model.clone(), overrides)
+            .map_err(|e| gabm::charac::CharacError::BadRig(e.to_string()))?;
+        Ok(rigs::input_resistance(&dut, "in", &[])?.value)
+    })
+    .unwrap();
+    assert_eq!(failures, 0);
+    assert!(
+        (dist.mean - 1.0e6).abs() / 1.0e6 < 0.05,
+        "mean rin {}",
+        dist.mean
+    );
+    // 5 % conductance scatter ⇒ ~5 % resistance scatter (first order).
+    assert!(
+        dist.std_dev / dist.mean > 0.02 && dist.std_dev / dist.mean < 0.12,
+        "rel std {}",
+        dist.std_dev / dist.mean
+    );
+}

@@ -1,0 +1,68 @@
+//! E10 — the §2.4 model check as an integration test: generated models are
+//! surrounded with extraction rigs and their instance parameters must be
+//! recovered within tolerance.
+
+use gabm::charac::{check_model, rigs};
+use gabm::codegen::{generate, Backend};
+use gabm::core::constructs::{InputStageSpec, OutputStageSpec};
+use gabm::fas::compile;
+use gabm::models::dut::fas_dut;
+use gabm_bench::diagram_dut;
+use std::collections::BTreeMap;
+
+#[test]
+fn input_stage_parameters_recovered() {
+    let rin = 4.7e5;
+    let cin = 12.0e-12;
+    let diagram = InputStageSpec::new("in", 1.0 / rin, cin).diagram().unwrap();
+    let dut = diagram_dut(&diagram).unwrap();
+    let x_rin = rigs::input_resistance(&dut, "in", &[]).unwrap();
+    let x_cin = rigs::input_capacitance(&dut, "in", &[], cin).unwrap();
+    let report = check_model(
+        "input_stage",
+        &[(("rin", rin), &x_rin), (("cin", cin), &x_cin)],
+        0.15,
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn output_stage_parameters_recovered() {
+    let gout = 2.0e-3;
+    let ilim = 5.0e-3;
+    let diagram = OutputStageSpec::new("out", gout)
+        .with_current_limit(ilim)
+        .diagram()
+        .unwrap();
+    let dut = diagram_dut(&diagram).unwrap();
+    let x_rout = rigs::output_resistance(&dut, "out", &[], 1.0e-4).unwrap();
+    let x_ilim = rigs::output_current_limit(&dut, "out", &[], 0.1, 0.5).unwrap();
+    let report = check_model(
+        "output_stage",
+        &[
+            (("rout", 1.0 / gout), &x_rout),
+            (("ilim", ilim), &x_ilim),
+        ],
+        0.2,
+    );
+    assert!(report.passed(), "{report}");
+}
+
+/// A model instantiated with *wrong* parameters must FAIL its check against
+/// the intended values — the check is discriminative, not vacuous.
+#[test]
+fn detuned_model_fails_check() {
+    let diagram = InputStageSpec::new("in", 1.0 / 1.0e6, 5.0e-12)
+        .diagram()
+        .unwrap();
+    let code = generate(&diagram, Backend::Fas).unwrap();
+    let model = compile(&code.text).unwrap();
+    // Instantiate with half the conductance (double the resistance).
+    let mut overrides = BTreeMap::new();
+    overrides.insert("gin".to_string(), 0.5e-6);
+    let dut = fas_dut(model, overrides).unwrap();
+    let x_rin = rigs::input_resistance(&dut, "in", &[]).unwrap();
+    let report = check_model("input_stage", &[(("rin", 1.0e6), &x_rin)], 0.15);
+    assert!(!report.passed(), "detuned model passed: {report}");
+    assert_eq!(report.failures(), 1);
+}

@@ -1,0 +1,61 @@
+//! End-to-end pipeline tests: diagram -> FAS code -> compiled model ->
+//! coupled electrical simulation (the paper's Fig. 1 flow).
+
+use gabm::codegen::{generate, Backend};
+use gabm::core::constructs::InputStageSpec;
+use gabm::fas::compile;
+use gabm::sim::analysis::tran::TranSpec;
+use gabm::sim::circuit::Circuit;
+use gabm::sim::devices::SourceWave;
+use std::collections::BTreeMap;
+
+/// The behavioural input stage must load a source exactly like the real
+/// R || C it models: same node voltage within tolerance over a transient.
+#[test]
+fn behavioural_input_stage_matches_rc() {
+    let rin = 1.0e6;
+    let cin = 10.0e-12;
+    // Behavioural version.
+    let diagram = InputStageSpec::new("in", 1.0 / rin, cin).diagram().unwrap();
+    let code = generate(&diagram, Backend::Fas).unwrap();
+    let model = compile(&code.text).unwrap();
+    let machine = model.instantiate(&BTreeMap::new()).unwrap();
+
+    let mut ckt_b = Circuit::new();
+    let n_b = ckt_b.node("in");
+    let src_b = ckt_b.node("src");
+    ckt_b.add_vsource(
+        "V1",
+        src_b,
+        Circuit::GROUND,
+        SourceWave::pulse(0.0, 1.0, 1e-6, 1e-7, 1e-7, 1.0, 0.0),
+    );
+    ckt_b.add_resistor("RS", src_b, n_b, 1.0e6).unwrap();
+    ckt_b
+        .add_behavioral("XIN", &[n_b], Box::new(machine))
+        .unwrap();
+    let tran_b = ckt_b.tran(&TranSpec::new(30e-6)).unwrap();
+    let w_b = tran_b.voltage_waveform(n_b).unwrap();
+
+    // Reference: the explicit R || C.
+    let mut ckt_r = Circuit::new();
+    let n_r = ckt_r.node("in");
+    let src_r = ckt_r.node("src");
+    ckt_r.add_vsource(
+        "V1",
+        src_r,
+        Circuit::GROUND,
+        SourceWave::pulse(0.0, 1.0, 1e-6, 1e-7, 1e-7, 1.0, 0.0),
+    );
+    ckt_r.add_resistor("RS", src_r, n_r, 1.0e6).unwrap();
+    ckt_r.add_resistor("RIN", n_r, Circuit::GROUND, rin).unwrap();
+    ckt_r.add_capacitor("CIN", n_r, Circuit::GROUND, cin);
+    let tran_r = ckt_r.tran(&TranSpec::new(30e-6)).unwrap();
+    let w_r = tran_r.voltage_waveform(n_r).unwrap();
+
+    let rms = w_b.rms_difference(&w_r).unwrap();
+    assert!(rms < 0.02, "behavioural vs reference RMS difference {rms}");
+    // End value: divider 1M/1M = 0.5.
+    let v_end = *w_b.values().last().unwrap();
+    assert!((v_end - 0.5).abs() < 0.01, "v_end = {v_end}");
+}
