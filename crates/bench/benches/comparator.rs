@@ -4,34 +4,26 @@
 //! (≈ 3.1× behavioural speedup) on a Sun Sparc 10/30; the reproduced claim
 //! is the *direction and rough magnitude* of that ratio.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gabm_bench::experiments::comparator_bench::{
     behavioural_comparator_circuit, cmos_comparator_circuit, ComparatorStimulus,
 };
+use gabm_bench::quick::BenchGroup;
 use gabm_sim::analysis::tran::TranSpec;
 use std::hint::black_box;
 
-fn bench_comparators(c: &mut Criterion) {
+fn main() {
     let stim = ComparatorStimulus::default();
     let tstop = 60.0e-6;
-    let mut group = c.benchmark_group("table1_comparator_tran_60us");
+    let mut group = BenchGroup::new("table1_comparator_tran_60us");
     group.sample_size(10);
-    group.bench_function("fas_behavioural_model", |b| {
-        b.iter(|| {
-            let (mut ckt, _) = behavioural_comparator_circuit(&stim).expect("bench builds");
-            let r = ckt.tran(&TranSpec::new(tstop)).expect("tran runs");
-            black_box(r.stats.accepted_steps)
-        })
+    group.bench_function("fas_behavioural_model", || {
+        let (mut ckt, _) = behavioural_comparator_circuit(&stim).expect("bench builds");
+        let r = ckt.tran(&TranSpec::new(tstop)).expect("tran runs");
+        black_box(r.stats.accepted_steps);
     });
-    group.bench_function("cmos_circuit_11_mos", |b| {
-        b.iter(|| {
-            let (mut ckt, _) = cmos_comparator_circuit(&stim).expect("bench builds");
-            let r = ckt.tran(&TranSpec::new(tstop)).expect("tran runs");
-            black_box(r.stats.accepted_steps)
-        })
+    group.bench_function("cmos_circuit_11_mos", || {
+        let (mut ckt, _) = cmos_comparator_circuit(&stim).expect("bench builds");
+        let r = ckt.tran(&TranSpec::new(tstop)).expect("tran runs");
+        black_box(r.stats.accepted_steps);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_comparators);
-criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! code generation each iteration. Quantifies what the behavioural
 //! abstraction costs on top of raw device evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gabm_bench::quick::BenchGroup;
 use gabm_codegen::{generate, Backend};
 use gabm_core::constructs::InputStageSpec;
 use gabm_fas::compile;
@@ -29,22 +29,21 @@ fn drive(ckt: &mut Circuit) -> gabm_sim::NodeId {
         Circuit::GROUND,
         SourceWave::sine(0.0, 1.0, 100.0e3),
     );
-    ckt.add_resistor("RS", src, inn, 1.0e5).expect("valid resistor");
+    ckt.add_resistor("RS", src, inn, 1.0e5)
+        .expect("valid resistor");
     inn
 }
 
-fn bench_fas_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fas_vs_native_rc_load");
-    group.bench_function("native_r_and_c", |b| {
-        b.iter(|| {
-            let mut ckt = Circuit::new();
-            let inn = drive(&mut ckt);
-            ckt.add_resistor("RIN", inn, Circuit::GROUND, RIN)
-                .expect("valid resistor");
-            ckt.add_capacitor("CIN", inn, Circuit::GROUND, CIN);
-            let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
-            black_box(r.stats.accepted_steps)
-        })
+fn main() {
+    let mut group = BenchGroup::new("fas_vs_native_rc_load");
+    group.bench_function("native_r_and_c", || {
+        let mut ckt = Circuit::new();
+        let inn = drive(&mut ckt);
+        ckt.add_resistor("RIN", inn, Circuit::GROUND, RIN)
+            .expect("valid resistor");
+        ckt.add_capacitor("CIN", inn, Circuit::GROUND, CIN);
+        let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
+        black_box(r.stats.accepted_steps);
     });
     // Compile once, simulate many times (the realistic usage).
     let code = generate(
@@ -55,39 +54,27 @@ fn bench_fas_overhead(c: &mut Criterion) {
     )
     .expect("generates");
     let model = compile(&code.text).expect("compiles");
-    group.bench_function("fas_interpreted_model", |b| {
-        b.iter(|| {
-            let mut ckt = Circuit::new();
-            let inn = drive(&mut ckt);
-            let machine = model
-                .instantiate(&BTreeMap::new())
-                .expect("instantiates");
-            ckt.add_behavioral("XIN", &[inn], Box::new(machine))
-                .expect("attaches");
-            let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
-            black_box(r.stats.accepted_steps)
-        })
+    group.bench_function("fas_interpreted_model", || {
+        let mut ckt = Circuit::new();
+        let inn = drive(&mut ckt);
+        let machine = model.instantiate(&BTreeMap::new()).expect("instantiates");
+        ckt.add_behavioral("XIN", &[inn], Box::new(machine))
+            .expect("attaches");
+        let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
+        black_box(r.stats.accepted_steps);
     });
-    group.bench_function("full_pipeline_incl_codegen", |b| {
-        b.iter(|| {
-            let diagram = InputStageSpec::new("in", 1.0 / RIN, CIN)
-                .diagram()
-                .expect("diagram builds");
-            let code = generate(&diagram, Backend::Fas).expect("generates");
-            let model = compile(&code.text).expect("compiles");
-            let mut ckt = Circuit::new();
-            let inn = drive(&mut ckt);
-            let machine = model
-                .instantiate(&BTreeMap::new())
-                .expect("instantiates");
-            ckt.add_behavioral("XIN", &[inn], Box::new(machine))
-                .expect("attaches");
-            let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
-            black_box(r.stats.accepted_steps)
-        })
+    group.bench_function("full_pipeline_incl_codegen", || {
+        let diagram = InputStageSpec::new("in", 1.0 / RIN, CIN)
+            .diagram()
+            .expect("diagram builds");
+        let code = generate(&diagram, Backend::Fas).expect("generates");
+        let model = compile(&code.text).expect("compiles");
+        let mut ckt = Circuit::new();
+        let inn = drive(&mut ckt);
+        let machine = model.instantiate(&BTreeMap::new()).expect("instantiates");
+        ckt.add_behavioral("XIN", &[inn], Box::new(machine))
+            .expect("attaches");
+        let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
+        black_box(r.stats.accepted_steps);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fas_overhead);
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!   time interval the paper's §3.3 note presupposes is also a performance
 //!   feature.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gabm_bench::quick::BenchGroup;
 use gabm_numeric::integrate::Method;
 use gabm_sim::analysis::tran::TranSpec;
 use gabm_sim::circuit::Circuit;
@@ -19,54 +19,42 @@ fn rlc_circuit() -> Circuit {
     let o = ckt.node("o");
     ckt.add_vsource("V1", a, Circuit::GROUND, SourceWave::sine(0.0, 1.0, 5.0e3));
     ckt.add_resistor("R1", a, m, 50.0).expect("valid resistor");
-    ckt.add_inductor("L1", m, o, 1.0e-3).expect("valid inductor");
+    ckt.add_inductor("L1", m, o, 1.0e-3)
+        .expect("valid inductor");
     ckt.add_capacitor("C1", o, Circuit::GROUND, 1.0e-6);
     ckt
 }
 
-fn bench_methods(c: &mut Criterion) {
-    let mut group = c.benchmark_group("integration_method_rlc_2ms");
+fn main() {
+    let mut group = BenchGroup::new("integration_method_rlc_2ms");
     for (name, method) in [
         ("backward_euler", Method::BackwardEuler),
         ("trapezoidal", Method::Trapezoidal),
         ("gear2", Method::Gear2),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut ckt = rlc_circuit();
-                let r = ckt
-                    .tran(&TranSpec::new(2.0e-3).with_method(method))
-                    .expect("tran runs");
-                black_box(r.stats.accepted_steps)
-            })
+        group.bench_function(name, || {
+            let mut ckt = rlc_circuit();
+            let r = ckt
+                .tran(&TranSpec::new(2.0e-3).with_method(method))
+                .expect("tran runs");
+            black_box(r.stats.accepted_steps);
         });
     }
-    group.finish();
-}
 
-fn bench_step_control(c: &mut Criterion) {
-    let mut group = c.benchmark_group("step_control_rlc_2ms");
-    group.bench_function("adaptive_lte", |b| {
-        b.iter(|| {
-            let mut ckt = rlc_circuit();
-            let r = ckt.tran(&TranSpec::new(2.0e-3)).expect("tran runs");
-            black_box(r.stats.accepted_steps)
-        })
+    let mut group = BenchGroup::new("step_control_rlc_2ms");
+    group.bench_function("adaptive_lte", || {
+        let mut ckt = rlc_circuit();
+        let r = ckt.tran(&TranSpec::new(2.0e-3)).expect("tran runs");
+        black_box(r.stats.accepted_steps);
     });
-    group.bench_function("quasi_fixed_fine_step", |b| {
-        b.iter(|| {
-            let mut ckt = rlc_circuit();
-            let spec = TranSpec {
-                dt_init: Some(2.0e-7),
-                dt_max: Some(2.0e-7),
-                ..TranSpec::new(2.0e-3)
-            };
-            let r = ckt.tran(&spec).expect("tran runs");
-            black_box(r.stats.accepted_steps)
-        })
+    group.bench_function("quasi_fixed_fine_step", || {
+        let mut ckt = rlc_circuit();
+        let spec = TranSpec {
+            dt_init: Some(2.0e-7),
+            dt_max: Some(2.0e-7),
+            ..TranSpec::new(2.0e-3)
+        };
+        let r = ckt.tran(&spec).expect("tran runs");
+        black_box(r.stats.accepted_steps);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_methods, bench_step_control);
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! favour the dense factorization; the sparse left-looking LU wins as the
 //! ladder grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gabm_bench::quick::BenchGroup;
 use gabm_numeric::{DenseMatrix, LuFactor, SparseLu, TripletBuilder};
 use std::hint::black_box;
 
@@ -38,27 +38,20 @@ fn ladder_sparse(n: usize) -> gabm_numeric::SparseMatrix {
     b.to_csc()
 }
 
-fn bench_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lu_factor_solve_ladder");
+fn main() {
+    let mut group = BenchGroup::new("lu_factor_solve_ladder");
+    group.sample_size(20);
     for &n in &[8usize, 32, 128, 512] {
         let dense = ladder_dense(n);
         let sparse = ladder_sparse(n);
         let rhs = vec![1.0; n];
-        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
-            b.iter(|| {
-                let lu = LuFactor::new(&dense).expect("factorizes");
-                black_box(lu.solve(&rhs).expect("solves"))
-            })
+        group.bench_function(&format!("dense/{n}"), || {
+            let lu = LuFactor::new(&dense).expect("factorizes");
+            black_box(lu.solve(&rhs).expect("solves"));
         });
-        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, _| {
-            b.iter(|| {
-                let lu = SparseLu::new(&sparse).expect("factorizes");
-                black_box(lu.solve(&rhs).expect("solves"))
-            })
+        group.bench_function(&format!("sparse/{n}"), || {
+            let lu = SparseLu::new(&sparse).expect("factorizes");
+            black_box(lu.solve(&rhs).expect("solves"));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_lu);
-criterion_main!(benches);

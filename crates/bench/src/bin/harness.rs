@@ -146,8 +146,14 @@ fn fig2() {
     let rin = rigs::input_resistance(&dut, "in", &[]).expect("rin rig");
     let cin = rigs::input_capacitance(&dut, "in", &[], assigned_cin).expect("cin rig");
     println!("{:<12} {:>14} {:>14}", "parameter", "assigned", "extracted");
-    println!("{:<12} {:>14.4e} {:>14.4e}", "rin [ohm]", assigned_rin, rin.value);
-    println!("{:<12} {:>14.4e} {:>14.4e}", "cin [F]", assigned_cin, cin.value);
+    println!(
+        "{:<12} {:>14.4e} {:>14.4e}",
+        "rin [ohm]", assigned_rin, rin.value
+    );
+    println!(
+        "{:<12} {:>14.4e} {:>14.4e}",
+        "cin [F]", assigned_cin, cin.value
+    );
 }
 
 /// E3 / Fig. 3 — output stage.
@@ -163,7 +169,12 @@ fn fig3() {
     let rout = rigs::output_resistance(&dut, "out", &[], 1.0e-4).expect("rout rig");
     let ilim_x = rigs::output_current_limit(&dut, "out", &[], 0.1, 0.5).expect("ilim rig");
     println!("{:<12} {:>14} {:>14}", "parameter", "assigned", "extracted");
-    println!("{:<12} {:>14.4e} {:>14.4e}", "rout [ohm]", 1.0 / gout, rout.value);
+    println!(
+        "{:<12} {:>14.4e} {:>14.4e}",
+        "rout [ohm]",
+        1.0 / gout,
+        rout.value
+    );
     println!("{:<12} {:>14.4e} {:>14.4e}", "ilim [A]", ilim, ilim_x.value);
 }
 
@@ -229,7 +240,10 @@ fn listing42() {
     let code = generate(&diagram, Backend::Fas).expect("generates");
     println!("{}", code.text);
     println!("--- the same diagram in VHDL-AMS ---");
-    println!("{}", generate(&diagram, Backend::VhdlAms).expect("vhdl").text);
+    println!(
+        "{}",
+        generate(&diagram, Backend::VhdlAms).expect("vhdl").text
+    );
     println!("--- and in MAST ---");
     println!("{}", generate(&diagram, Backend::Mast).expect("mast").text);
 }
@@ -436,8 +450,12 @@ fn validity_scan() {
         let r = ckt
             .tran(&TranSpec::new(periods / f))
             .map_err(gabm_charac::CharacError::Sim)?;
-        let w_out = r.voltage_waveform(nodes.1).map_err(gabm_charac::CharacError::Sim)?;
-        let w_in = r.voltage_waveform(nodes.0).map_err(gabm_charac::CharacError::Sim)?;
+        let w_out = r
+            .voltage_waveform(nodes.1)
+            .map_err(gabm_charac::CharacError::Sim)?;
+        let w_in = r
+            .voltage_waveform(nodes.0)
+            .map_err(gabm_charac::CharacError::Sim)?;
         let rms = w_out
             .rms_difference(&w_in)
             .map_err(|e| gabm_charac::CharacError::ExtractionFailed(e.to_string()))?;

@@ -150,9 +150,8 @@ pub fn cmos_comparator_circuit(
     CmosComparator::new()
         .instantiate(&mut ckt, "XCMP", &nodes)
         .map_err(|e| SimError::BadAnalysis(e.to_string()))?;
-    let (inp, inn, strobe, out, vdd, vss) = (
-        nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5],
-    );
+    let (inp, inn, strobe, out, vdd, vss) =
+        (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5]);
     ckt.add_vsource("VDD", vdd, Circuit::GROUND, SourceWave::dc(stim.supply));
     ckt.add_vsource("VSS", vss, Circuit::GROUND, SourceWave::dc(-stim.supply));
     stim.add_sources(&mut ckt, inp, inn, strobe);

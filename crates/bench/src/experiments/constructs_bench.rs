@@ -106,7 +106,11 @@ mod tests {
         let spec = InputStageSpec::new("in", 1.0 / 1.0e6, 5.0e-12);
         let dut = diagram_dut(&spec.diagram().unwrap()).unwrap();
         let rin = rigs::input_resistance(&dut, "in", &[]).unwrap();
-        assert!((rin.value - 1.0e6).abs() / 1.0e6 < 1e-3, "rin = {}", rin.value);
+        assert!(
+            (rin.value - 1.0e6).abs() / 1.0e6 < 1e-3,
+            "rin = {}",
+            rin.value
+        );
         let cin = rigs::input_capacitance(&dut, "in", &[], 5.0e-12).unwrap();
         assert!(
             (cin.value - 5.0e-12).abs() / 5.0e-12 < 0.15,
@@ -137,16 +141,7 @@ mod tests {
     fn slew_buffer_limits_slopes() {
         let spec = SlewBufferSpec::default();
         let dut = diagram_dut(&spec.diagram().unwrap()).unwrap();
-        let (rise, fall) = rigs::slew_rates(
-            &dut,
-            "in",
-            "out",
-            &[],
-            -1.0,
-            1.0,
-            40.0e-6,
-        )
-        .unwrap();
+        let (rise, fall) = rigs::slew_rates(&dut, "in", "out", &[], -1.0, 1.0, 40.0e-6).unwrap();
         assert!(
             (rise.value - spec.slew_rise).abs() / spec.slew_rise < 0.2,
             "rise = {:.3e}",

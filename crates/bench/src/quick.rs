@@ -1,0 +1,68 @@
+//! Minimal micro-benchmark runner for the `cargo bench` targets.
+//!
+//! The workspace builds with no network access, so the bench targets
+//! cannot depend on Criterion; this runner keeps the same shape (groups
+//! of named benchmark functions, warm-up then timed samples, a stats
+//! line per function) at a fraction of the machinery. It is deliberately
+//! simple: wall-clock timing, median-of-samples reporting.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmark functions, mirroring Criterion's
+/// `benchmark_group` API closely enough to keep the bench sources simple.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group; by default each function is sampled 10 times.
+    pub fn new(name: &str) -> Self {
+        BenchGroup {
+            name: name.to_string(),
+            samples: 10,
+        }
+    }
+
+    /// Sets the per-function sample count.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs `f` once as warm-up and then `samples` timed times, printing
+    /// min / median / mean wall-clock duration.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut()) -> &mut Self {
+        f(); // warm-up (page in code, fill caches)
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            f();
+            times.push(start.elapsed());
+        }
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{name:<32} min {:>12.3?}  median {:>12.3?}  mean {:>12.3?}  ({} samples)",
+            self.name, min, median, mean, self.samples
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_counts_samples() {
+        let mut calls = 0usize;
+        BenchGroup::new("t")
+            .sample_size(3)
+            .bench_function("f", || calls += 1);
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}

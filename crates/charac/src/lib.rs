@@ -46,8 +46,7 @@ pub trait Dut {
     /// # Errors
     ///
     /// Propagates netlist-construction errors.
-    fn instantiate(&self, ckt: &mut Circuit, name: &str, nodes: &[NodeId])
-        -> Result<(), SimError>;
+    fn instantiate(&self, ckt: &mut Circuit, name: &str, nodes: &[NodeId]) -> Result<(), SimError>;
 
     /// Index of the named pin.
     fn pin_index(&self, name: &str) -> Option<usize> {
@@ -89,12 +88,7 @@ where
         self.pins.clone()
     }
 
-    fn instantiate(
-        &self,
-        ckt: &mut Circuit,
-        name: &str,
-        nodes: &[NodeId],
-    ) -> Result<(), SimError> {
+    fn instantiate(&self, ckt: &mut Circuit, name: &str, nodes: &[NodeId]) -> Result<(), SimError> {
         (self.build)(ckt, name, nodes)
     }
 }

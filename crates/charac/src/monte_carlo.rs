@@ -7,8 +7,7 @@
 //! library needs before sign-off.
 
 use crate::CharacError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gabm_numeric::rng::Rng;
 use std::collections::BTreeMap;
 
 /// A parameter scatter specification: nominal value and relative standard
@@ -88,7 +87,7 @@ pub fn monte_carlo(
     if samples == 0 {
         return Err(CharacError::BadRig("need at least one sample".into()));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut values = Vec::with_capacity(samples);
     let mut failures = 0usize;
     for _ in 0..samples {
@@ -97,7 +96,7 @@ pub fn monte_carlo(
             // Uniform over ±3σ: bounded support keeps rigs out of absurd
             // corners while matching the requested dispersion scale.
             let span = 3.0 * sc.rel_sigma * sc.nominal;
-            let value = sc.nominal + rng.gen_range(-1.0..=1.0) * span;
+            let value = sc.nominal + rng.symmetric() * span;
             params.insert(name.clone(), value);
         }
         match measure(&params) {
@@ -134,10 +133,13 @@ mod tests {
     #[test]
     fn identity_measurement_reproduces_scatter() {
         let scatters = scatter_of("g", 1.0e-3, 0.05);
-        let (dist, failures) =
-            monte_carlo(&scatters, 400, 42, |p| Ok(p["g"])).unwrap();
+        let (dist, failures) = monte_carlo(&scatters, 400, 42, |p| Ok(p["g"])).unwrap();
         assert_eq!(failures, 0);
-        assert!((dist.mean - 1.0e-3).abs() / 1.0e-3 < 0.02, "mean {}", dist.mean);
+        assert!(
+            (dist.mean - 1.0e-3).abs() / 1.0e-3 < 0.02,
+            "mean {}",
+            dist.mean
+        );
         // Uniform ±3σ ⇒ std = 3σ/√3 = √3·σ ≈ 8.66e-5.
         let expect_std = 3.0 * 0.05e-3 / 3.0f64.sqrt();
         assert!(

@@ -79,15 +79,24 @@ pub fn input_capacitance(
         "VSTEP",
         src,
         Circuit::GROUND,
-        SourceWave::pulse(0.0, 1.0, tstop * 0.01, tstop * 1e-4, tstop * 1e-4, tstop, 0.0),
+        SourceWave::pulse(
+            0.0,
+            1.0,
+            tstop * 0.01,
+            tstop * 1e-4,
+            tstop * 1e-4,
+            tstop,
+            0.0,
+        ),
     );
     ckt.add_resistor("RS", src, nodes[idx], rs)?;
     let result = ckt.tran(&TranSpec::new(tstop))?;
     let w = result.voltage_waveform(nodes[idx])?;
     // Final value and 63.2 % crossing give tau.
-    let v_end = *w.values().last().ok_or_else(|| {
-        CharacError::ExtractionFailed("empty transient".to_string())
-    })?;
+    let v_end = *w
+        .values()
+        .last()
+        .ok_or_else(|| CharacError::ExtractionFailed("empty transient".to_string()))?;
     let t0 = tstop * 0.01;
     let target = 0.632 * v_end;
     let t63 = measure::first_crossing_after(&w, target, measure::Edge::Rising, t0)?
@@ -117,7 +126,12 @@ pub fn output_resistance(
         let idx = dut
             .pin_index(pin)
             .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{pin}'")))?;
-        ckt.add_isource("ILOAD", nodes[idx], Circuit::GROUND, SourceWave::dc(current));
+        ckt.add_isource(
+            "ILOAD",
+            nodes[idx],
+            Circuit::GROUND,
+            SourceWave::dc(current),
+        );
         let op = ckt.op()?;
         Ok(op.voltage(nodes[idx]))
     };
@@ -152,7 +166,12 @@ pub fn output_current_limit(
         let idx = dut
             .pin_index(pin)
             .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{pin}'")))?;
-        ckt.add_isource("ILOAD", nodes[idx], Circuit::GROUND, SourceWave::dc(current));
+        ckt.add_isource(
+            "ILOAD",
+            nodes[idx],
+            Circuit::GROUND,
+            SourceWave::dc(current),
+        );
         let op = ckt.op()?;
         Ok(op.voltage(nodes[idx]))
     };
@@ -260,7 +279,12 @@ pub fn dc_transfer(
     let out_idx = dut
         .pin_index(out_pin)
         .ok_or_else(|| CharacError::BadRig(format!("unknown pin '{out_pin}'")))?;
-    ckt.add_vsource("VSWEEP", nodes[in_idx], Circuit::GROUND, SourceWave::dc(from));
+    ckt.add_vsource(
+        "VSWEEP",
+        nodes[in_idx],
+        Circuit::GROUND,
+        SourceWave::dc(from),
+    );
     let sweep = ckt.dc_sweep("VSWEEP", from, to, step)?;
     let vin = sweep.sweep_values().to_vec();
     let vout = sweep.voltage_series(nodes[out_idx]);
@@ -336,19 +360,25 @@ pub fn response_time(
         "VTRIG",
         nodes[trig_idx],
         Circuit::GROUND,
-        SourceWave::pulse(v_idle, v_active, t_edge, window * 1e-4, window * 1e-4, window, 0.0),
+        SourceWave::pulse(
+            v_idle,
+            v_active,
+            t_edge,
+            window * 1e-4,
+            window * 1e-4,
+            window,
+            0.0,
+        ),
     );
     let result = ckt.tran(&TranSpec::new(window))?;
     let w_out = result.voltage_waveform(nodes[out_idx])?;
-    let edge = if output_level
-        >= w_out.value_at(t_edge).unwrap_or(0.0)
-    {
+    let edge = if output_level >= w_out.value_at(t_edge).unwrap_or(0.0) {
         measure::Edge::Rising
     } else {
         measure::Edge::Falling
     };
-    let t_cross = measure::first_crossing_after(&w_out, output_level, edge, t_edge)?
-        .ok_or_else(|| {
+    let t_cross =
+        measure::first_crossing_after(&w_out, output_level, edge, t_edge)?.ok_or_else(|| {
             CharacError::ExtractionFailed(format!(
                 "output never crossed {output_level} after the trigger"
             ))
@@ -462,10 +492,7 @@ pub fn supply_currents(
             None => full_bias.push((p.clone(), Bias::Ground)),
         }
     }
-    let bias_refs: Vec<(&str, Bias)> = full_bias
-        .iter()
-        .map(|(n, b)| (n.as_str(), *b))
-        .collect();
+    let bias_refs: Vec<(&str, Bias)> = full_bias.iter().map(|(n, b)| (n.as_str(), *b)).collect();
     let (mut ckt, _nodes) = scaffold(dut, &bias_refs)?;
     let op = ckt.op()?;
     let mut out = Vec::new();
@@ -595,16 +622,8 @@ mod tests {
             ckt.add_capacitor(&format!("{name}_C"), nodes[1], Circuit::GROUND, 1.0e-6);
             Ok(())
         });
-        let pts = frequency_response(
-            &dut,
-            "a",
-            "b",
-            &[],
-            &[10.0, 159.1549, 5.0e3],
-            1.0,
-            3,
-        )
-        .unwrap();
+        let pts =
+            frequency_response(&dut, "a", "b", &[], &[10.0, 159.1549, 5.0e3], 1.0, 3).unwrap();
         assert!((pts[0].gain - 1.0).abs() < 0.02, "LF gain {}", pts[0].gain);
         assert!(
             (pts[1].gain - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.03,

@@ -105,7 +105,11 @@ mod tests {
         assert!(r.is_valid_anywhere());
         assert_eq!(r.lo, 1.0);
         // Valid up to deviation 0.1 → f = 1 kHz (within grid resolution).
-        assert!((r.hi / 1.0e3) < 1.3 && (r.hi / 1.0e3) > 0.7, "hi = {}", r.hi);
+        assert!(
+            (r.hi / 1.0e3) < 1.3 && (r.hi / 1.0e3) > 0.7,
+            "hi = {}",
+            r.hi
+        );
         assert_eq!(r.evaluations, 61);
     }
 

@@ -98,7 +98,10 @@ pub(crate) fn render(ir: &CodeIr) -> Result<String, CodegenError> {
                 ));
             }
             IrStatement::Impose {
-                pin, quantity, expr, ..
+                pin,
+                quantity,
+                expr,
+                ..
             } => {
                 out.push_str(&format!(
                     "make {}.on({pin}) = {expr}\n",
@@ -132,17 +135,11 @@ pub(crate) fn render(ir: &CodeIr) -> Result<String, CodegenError> {
             IrStatement::UnitDelay { var, input, .. } => {
                 out.push_str(&format!("make {var} = state.delay({input})\n"));
             }
-            IrStatement::FixedDelay {
-                var, input, td, ..
-            } => {
+            IrStatement::FixedDelay { var, input, td, .. } => {
                 out.push_str(&format!("make {var} = state.delayt({input}, {td})\n"));
             }
             IrStatement::FirstOrderLag {
-                var,
-                input,
-                k,
-                tau,
-                ..
+                var, input, k, tau, ..
             } => {
                 out.push_str("if (mode=dc) then\n");
                 out.push_str(&format!("make {var} = {k} * {input}\n"));

@@ -362,33 +362,28 @@ pub(crate) fn lower(d: &FunctionalDiagram) -> Result<CodeIr, CodegenError> {
     }
 
     // Expression consumed by an input port.
-    let input_expr = |sym: &Symbol, port_name: &str| -> Result<String, CodegenError> {
-        let idx = sym.port_index(port_name).ok_or(CodegenError::Core(
-            gabm_core::CoreError::NotFound(format!("port {port_name}")),
-        ))?;
-        let pr = PortRef {
-            symbol: SymbolId(sym.id),
-            port: idx,
-        };
-        if let Some(net) = d.net_of(pr) {
-            net_expr
-                .get(&net.id.0)
-                .cloned()
-                .ok_or_else(|| {
-                    CodegenError::Unsupported(format!(
-                        "net {} has no driving expression",
-                        net.id.0
-                    ))
+    let input_expr =
+        |sym: &Symbol, port_name: &str| -> Result<String, CodegenError> {
+            let idx = sym.port_index(port_name).ok_or(CodegenError::Core(
+                gabm_core::CoreError::NotFound(format!("port {port_name}")),
+            ))?;
+            let pr = PortRef {
+                symbol: SymbolId(sym.id),
+                port: idx,
+            };
+            if let Some(net) = d.net_of(pr) {
+                net_expr.get(&net.id.0).cloned().ok_or_else(|| {
+                    CodegenError::Unsupported(format!("net {} has no driving expression", net.id.0))
                 })
-        } else if let Some(name) = open_input_expr.get(&pr) {
-            Ok(name.clone())
-        } else {
-            Err(CodegenError::Unsupported(format!(
-                "input '{port_name}' of symbol {} is unconnected",
-                sym.id
-            )))
-        }
-    };
+            } else if let Some(name) = open_input_expr.get(&pr) {
+                Ok(name.clone())
+            } else {
+                Err(CodegenError::Unsupported(format!(
+                    "input '{port_name}' of symbol {} is unconnected",
+                    sym.id
+                )))
+            }
+        };
 
     // Pin of a probe/generator symbol.
     let pin_of = |sym: &Symbol| -> Result<String, CodegenError> {
@@ -717,13 +712,13 @@ mod tests {
     fn slew_rate_open_input_becomes_param() {
         let d = SlewRateSpec::new(1e6, 1e6).diagram().unwrap();
         let ir = lower(&d).unwrap();
-        assert!(ir
-            .params
-            .iter()
-            .any(|p| p.name == "u" && p.from_open_input));
+        assert!(ir.params.iter().any(|p| p.name == "u" && p.from_open_input));
         // The unit delay is emitted without waiting for its input.
         let first_ids: Vec<usize> = ir.statements.iter().map(IrStatement::id).collect();
-        assert_eq!(first_ids[0], 1, "unit delay should come first: {first_ids:?}");
+        assert_eq!(
+            first_ids[0], 1,
+            "unit delay should come first: {first_ids:?}"
+        );
     }
 
     #[test]

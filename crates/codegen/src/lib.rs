@@ -26,7 +26,7 @@ mod ir;
 mod mast;
 mod vhdl;
 
-pub use ir::{CodeIr, IrStatement};
+pub use ir::{CodeIr, IrParam, IrRhs, IrStatement, PinQuantity};
 
 use gabm_core::check::CheckReport;
 use gabm_core::diagram::FunctionalDiagram;
@@ -133,13 +133,32 @@ pub fn generate(
     backend: Backend,
 ) -> Result<GeneratedCode, CodegenError> {
     let ir = ir::lower(diagram)?;
+    render_ir(&ir, backend, diagram.name())
+}
+
+/// Lowers a diagram to its backend-independent [`CodeIr`] without
+/// rendering. The diagram is consistency-checked first, exactly as
+/// [`generate`] does: a diagram with lint errors is refused.
+///
+/// # Errors
+///
+/// [`CodegenError::Inconsistent`] on §3.2/§4.1 violations.
+pub fn lower(diagram: &FunctionalDiagram) -> Result<CodeIr, CodegenError> {
+    ir::lower(diagram)
+}
+
+fn render_ir(
+    ir: &CodeIr,
+    backend: Backend,
+    model_name: &str,
+) -> Result<GeneratedCode, CodegenError> {
     let text = match backend {
-        Backend::Fas => fas::render(&ir),
-        Backend::VhdlAms => vhdl::render(&ir),
-        Backend::Mast => mast::render(&ir),
+        Backend::Fas => fas::render(ir),
+        Backend::VhdlAms => vhdl::render(ir),
+        Backend::Mast => mast::render(ir),
     }?;
     Ok(GeneratedCode {
-        model_name: diagram.name().to_string(),
+        model_name: model_name.to_string(),
         backend,
         text,
     })

@@ -95,21 +95,13 @@ pub(crate) fn render(ir: &CodeIr) -> Result<String, CodegenError> {
             IrStatement::UnitDelay { var, input, .. } => {
                 out.push_str(&format!("    {var} = delay({input}, timestep)\n"));
             }
-            IrStatement::FixedDelay {
-                var, input, td, ..
-            } => {
+            IrStatement::FixedDelay { var, input, td, .. } => {
                 out.push_str(&format!("    {var} = delay({input}, {td})\n"));
             }
             IrStatement::FirstOrderLag {
-                var,
-                input,
-                k,
-                tau,
-                ..
+                var, input, k, tau, ..
             } => {
-                out.push_str(&format!(
-                    "    {var} = lp1({k} * {input}, {tau})\n"
-                ));
+                out.push_str(&format!("    {var} = lp1({k} * {input}, {tau})\n"));
             }
             IrStatement::Impose { .. } | IrStatement::ImposeAcross { .. } => {}
         }

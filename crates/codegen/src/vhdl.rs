@@ -131,19 +131,15 @@ pub(crate) fn render(ir: &CodeIr) -> Result<String, CodegenError> {
                 // solution point under a variable-step solver.
                 out.push_str(&format!("  {var} == {input}'delayed(0.0);\n"));
             }
-            IrStatement::FixedDelay {
-                var, input, td, ..
-            } => {
+            IrStatement::FixedDelay { var, input, td, .. } => {
                 out.push_str(&format!("  {var} == {input}'delayed({td});\n"));
             }
             IrStatement::FirstOrderLag {
-                var,
-                input,
-                k,
-                tau,
-                ..
+                var, input, k, tau, ..
             } => {
-                out.push_str(&format!("  {var} == {k} * {input}'ltf((0 => 1.0), (0 => 1.0, 1 => {tau}));\n"));
+                out.push_str(&format!(
+                    "  {var} == {k} * {input}'ltf((0 => 1.0), (0 => 1.0, 1 => {tau}));\n"
+                ));
             }
         }
     }

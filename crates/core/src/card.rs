@@ -9,11 +9,10 @@
 
 use crate::quantity::Dimension;
 use crate::CoreError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Physical domain of a pin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PinDomain {
     /// Electrical pin (voltage/current pair).
     Electrical,
@@ -25,7 +24,7 @@ pub enum PinDomain {
 }
 
 /// A pin declaration on a definition card.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PinDecl {
     /// Pin name.
     pub name: String,
@@ -36,7 +35,7 @@ pub struct PinDecl {
 }
 
 /// A parameter declaration on a definition card.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamDecl {
     /// Parameter name (matches diagram property references).
     pub name: String,
@@ -49,7 +48,7 @@ pub struct ParamDecl {
 }
 
 /// Importance class of a modelled characteristic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CharacteristicClass {
     /// Primary characteristic (transfer function, output impedance, …).
     Primary,
@@ -58,7 +57,7 @@ pub enum CharacteristicClass {
 }
 
 /// One modelled characteristic listed on the card.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Characteristic {
     /// Name, e.g. `"input impedance"`.
     pub name: String,
@@ -88,7 +87,7 @@ pub struct Characteristic {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DefinitionCard {
     name: String,
     description: String,
@@ -99,6 +98,27 @@ pub struct DefinitionCard {
 }
 
 impl DefinitionCard {
+    /// Reassembles a card from its serialized parts (deserialization
+    /// bypasses the builder's duplicate checks, matching what the card
+    /// contained when written).
+    pub(crate) fn from_parts(
+        name: String,
+        description: String,
+        symbol_art: Option<String>,
+        pins: Vec<PinDecl>,
+        parameters: Vec<ParamDecl>,
+        characteristics: Vec<Characteristic>,
+    ) -> Self {
+        DefinitionCard {
+            name,
+            description,
+            symbol_art,
+            pins,
+            parameters,
+            characteristics,
+        }
+    }
+
     /// Starts building a card for the named model.
     pub fn builder(name: &str) -> DefinitionCardBuilder {
         DefinitionCardBuilder {
@@ -166,8 +186,7 @@ impl DefinitionCard {
         &self,
         diagram: &crate::diagram::FunctionalDiagram,
     ) -> Result<(), CoreError> {
-        let diagram_pins: Vec<String> =
-            diagram.pins().into_iter().map(|(_, name)| name).collect();
+        let diagram_pins: Vec<String> = diagram.pins().into_iter().map(|(_, name)| name).collect();
         for pin in &self.pins {
             if !diagram_pins.contains(&pin.name) {
                 return Err(CoreError::BadCard(format!(

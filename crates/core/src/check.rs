@@ -1,53 +1,28 @@
 //! Diagram consistency checking (§3.2: "Once a diagram has been edited, a
 //! consistency test can be performed").
 //!
-//! Three families of rules are enforced:
+//! The test is organized as a sequence of named passes over the diagram
+//! (see [`DIAGRAM_PASSES`]), each emitting coded [`Diagnostic`]s:
 //!
 //! 1. **structure** — every consumed net is driven by exactly one output
-//!    port; no dangling inputs;
+//!    port (GABM001/GABM002); no dangling inputs (GABM003–GABM005);
+//!    required properties are present (GABM006) and well-formed (GABM011);
 //! 2. **quantities** — physical dimensions are propagated through the
-//!    symbols and conflicts are reported ("oil and water will not mix");
+//!    symbols and conflicts are reported with the full inference chain
+//!    ("oil and water will not mix", GABM007/GABM012);
 //! 3. **causality** — algebraic loops (cycles not broken by a state element
-//!    such as the unit delay of the slew-rate construct) are rejected,
-//!    since the generated sequential code could not be ordered (§4.1).
+//!    such as the unit delay of the slew-rate construct) are rejected with
+//!    the full cycle path, since the generated sequential code could not be
+//!    ordered (§4.1, GABM008);
+//! 4. **liveness** — symbols whose outputs never reach a generator or the
+//!    diagram interface (GABM009) and parameters referenced nowhere
+//!    (GABM010) are flagged as diagram dead code.
 
+use crate::diag::{Code, Diagnostic, Location, Severity};
 use crate::diagram::{FunctionalDiagram, NetId, PortRef, SymbolId};
 use crate::quantity::Dimension;
 use crate::symbol::{PortDirection, PropertyValue, SymbolKind};
-use std::collections::HashMap;
-use std::fmt;
-
-/// Severity of a diagnostic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Severity {
-    /// The diagram cannot be code-generated.
-    Error,
-    /// Suspicious but tolerated.
-    Warning,
-}
-
-/// One finding of the consistency test.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Diagnostic {
-    /// Error or warning.
-    pub severity: Severity,
-    /// Human-readable description.
-    pub message: String,
-    /// Offending symbol, when applicable.
-    pub symbol: Option<SymbolId>,
-    /// Offending net, when applicable.
-    pub net: Option<NetId>,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let tag = match self.severity {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
-        };
-        write!(f, "{tag}: {}", self.message)
-    }
-}
+use std::collections::{HashMap, HashSet};
 
 /// The outcome of [`check_diagram`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -80,23 +55,36 @@ impl CheckReport {
         self.error_count() == 0
     }
 
-    fn error(&mut self, message: String, symbol: Option<SymbolId>, net: Option<NetId>) {
-        self.diagnostics.push(Diagnostic {
-            severity: Severity::Error,
-            message,
-            symbol,
-            net,
-        });
+    fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
     }
+}
 
-    fn warn(&mut self, message: String, symbol: Option<SymbolId>, net: Option<NetId>) {
-        self.diagnostics.push(Diagnostic {
-            severity: Severity::Warning,
-            message,
-            symbol,
-            net,
-        });
+/// One diagram-level analysis pass.
+pub type DiagramPass = fn(&FunctionalDiagram, &mut CheckReport);
+
+/// All diagram-level passes in execution order, with stable names. The
+/// `gabm-lint` registry reuses this table; [`check_diagram`] (and through
+/// it every code-generation entry point) runs all of them, so generation
+/// refuses a diagram carrying *any* diagram-level lint error.
+pub const DIAGRAM_PASSES: &[(&str, DiagramPass)] = &[
+    ("net-drivers", check_net_drivers),
+    ("port-connections", check_port_connections),
+    ("required-properties", check_required_properties),
+    ("limiter-bounds", check_limiter_bounds),
+    ("dimensions", infer_dimensions),
+    ("algebraic-loops", check_algebraic_loops),
+    ("dead-symbols", check_dead_symbols),
+    ("unused-parameters", check_unused_parameters),
+];
+
+/// Runs the full consistency test on a diagram.
+pub fn check_diagram(d: &FunctionalDiagram) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (_, pass) in DIAGRAM_PASSES {
+        pass(d, &mut report);
     }
+    report
 }
 
 /// Dimension of a property value: literals are dimensionless; parameter
@@ -113,49 +101,65 @@ fn property_dimension(d: &FunctionalDiagram, value: Option<&PropertyValue>) -> D
     }
 }
 
-/// Runs the full consistency test on a diagram.
-pub fn check_diagram(d: &FunctionalDiagram) -> CheckReport {
-    let mut report = CheckReport::default();
-    check_structure(d, &mut report);
-    infer_dimensions(d, &mut report);
-    check_algebraic_loops(d, &mut report);
-    report
+/// Numeric value of a property, resolving parameter references to their
+/// declared defaults. `None` when the referenced parameter is undeclared.
+fn property_value(d: &FunctionalDiagram, value: &PropertyValue) -> Option<f64> {
+    let default_of = |p: &str| {
+        d.parameters()
+            .iter()
+            .find(|decl| decl.name == p)
+            .map(|decl| decl.default)
+    };
+    match value {
+        PropertyValue::Number(v) => Some(*v),
+        PropertyValue::Param(p) => default_of(p),
+        PropertyValue::NegParam(p) => default_of(p).map(|v| -v),
+    }
 }
 
-fn check_structure(d: &FunctionalDiagram, report: &mut CheckReport) {
-    // Net driver rule.
+/// GABM001/GABM002 — the net driver rule: "a net must be bound to one and
+/// only one output port".
+fn check_net_drivers(d: &FunctionalDiagram, report: &mut CheckReport) {
     for net in d.nets() {
-        let mut outputs = 0usize;
+        let mut drivers: Vec<String> = Vec::new();
         let mut inputs = 0usize;
         for p in &net.ports {
             if let Ok(sym) = d.symbol(p.symbol) {
                 match sym.ports()[p.port].direction {
-                    PortDirection::Output => outputs += 1,
+                    PortDirection::Output => drivers.push(sym.to_string()),
                     PortDirection::Input => inputs += 1,
                     PortDirection::Bidir => {}
                 }
             }
         }
-        if outputs > 1 {
-            report.error(
-                format!("net {} driven by {} output ports", net.id.0, outputs),
-                None,
-                Some(net.id),
+        if drivers.len() > 1 {
+            let mut diag = Diagnostic::new(
+                Code::MultipleDrivers,
+                format!("net {} driven by {} output ports", net.id.0, drivers.len()),
+                Location::Net(net.id),
             );
+            for drv in &drivers {
+                diag = diag.with_note(format!("driven by {drv}"));
+            }
+            report.push(diag);
         }
-        if inputs > 0 && outputs == 0 {
-            report.error(
+        if inputs > 0 && drivers.is_empty() {
+            report.push(Diagnostic::new(
+                Code::UndrivenNet,
                 format!(
                     "net {} is consumed but bound to no output port (\"a net must be bound to one and only one output port\")",
                     net.id.0
                 ),
-                None,
-                Some(net.id),
-            );
+                Location::Net(net.id),
+            ));
         }
     }
-    // Port connection rule. Ports exposed on the diagram interface are
-    // connected from the outside once the diagram is used hierarchically.
+}
+
+/// GABM003–GABM005 — the port connection rule. Ports exposed on the
+/// diagram interface count as connected: they are wired from the outside
+/// once the diagram is used hierarchically.
+fn check_port_connections(d: &FunctionalDiagram, report: &mut CheckReport) {
     let exposed: Vec<PortRef> = d.interface().iter().map(|itf| itf.inner).collect();
     for sym in d.symbols() {
         let ports = sym.ports();
@@ -168,67 +172,143 @@ fn check_structure(d: &FunctionalDiagram, report: &mut CheckReport) {
             let connected = d.net_of(pr).is_some() || exposed.contains(&pr);
             any_connected |= connected;
             if !connected && spec.direction == PortDirection::Input {
-                report.error(
+                report.push(Diagnostic::new(
+                    Code::UnconnectedInput,
                     format!("input port '{}' of {sym} is unconnected", spec.name),
-                    Some(SymbolId(sym.id)),
-                    None,
-                );
+                    Location::Port {
+                        symbol: SymbolId(sym.id),
+                        port: spec.name.clone(),
+                    },
+                ));
             }
             if !connected && spec.direction == PortDirection::Output {
-                report.warn(
+                report.push(Diagnostic::new(
+                    Code::UnconnectedOutput,
                     format!("output port '{}' of {sym} is unconnected", spec.name),
-                    Some(SymbolId(sym.id)),
-                    None,
-                );
+                    Location::Port {
+                        symbol: SymbolId(sym.id),
+                        port: spec.name.clone(),
+                    },
+                ));
             }
         }
         if !any_connected && !ports.is_empty() {
-            report.warn(format!("{sym} is not connected at all"), Some(SymbolId(sym.id)), None);
-        }
-        // Property presence.
-        if matches!(sym.kind, SymbolKind::Gain) && sym.property("a").is_none() {
-            report.error(
-                format!("{sym} is missing its gain property 'a'"),
-                Some(SymbolId(sym.id)),
-                None,
-            );
-        }
-        if matches!(sym.kind, SymbolKind::Limiter)
-            && (sym.property("min").is_none() || sym.property("max").is_none())
-        {
-            report.error(
-                format!("{sym} needs 'min' and 'max' properties"),
-                Some(SymbolId(sym.id)),
-                None,
-            );
+            report.push(Diagnostic::new(
+                Code::DisconnectedSymbol,
+                format!("{sym} is not connected at all"),
+                Location::Symbol(SymbolId(sym.id)),
+            ));
         }
     }
 }
 
-/// Propagates dimensions over nets to a fixpoint, reporting conflicts.
-fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
-    let mut dims: HashMap<NetId, Dimension> = HashMap::new();
-    let mut conflicts: Vec<(NetId, Dimension, Dimension)> = Vec::new();
+/// GABM006 — required property presence.
+fn check_required_properties(d: &FunctionalDiagram, report: &mut CheckReport) {
+    for sym in d.symbols() {
+        let missing: &[&str] = match &sym.kind {
+            SymbolKind::Gain if sym.property("a").is_none() => &["a"],
+            SymbolKind::Limiter => match (sym.property("min"), sym.property("max")) {
+                (None, None) => &["min", "max"],
+                (None, Some(_)) => &["min"],
+                (Some(_), None) => &["max"],
+                _ => &[],
+            },
+            SymbolKind::Delay if sym.property("td").is_none() => &["td"],
+            _ => &[],
+        };
+        for prop in missing {
+            report.push(Diagnostic::new(
+                Code::MissingProperty,
+                match &sym.kind {
+                    SymbolKind::Gain => format!("{sym} is missing its gain property 'a'"),
+                    _ => format!("{sym} is missing its property '{prop}'"),
+                },
+                Location::Symbol(SymbolId(sym.id)),
+            ));
+        }
+    }
+}
 
-    let assign = |dims: &mut HashMap<NetId, Dimension>,
-                      conflicts: &mut Vec<(NetId, Dimension, Dimension)>,
-                      net: NetId,
-                      dim: Dimension|
-     -> bool {
-        match dims.get(&net) {
-            Some(existing) if *existing != dim => {
-                if !conflicts.iter().any(|(n, _, _)| *n == net) {
-                    conflicts.push((net, *existing, dim));
-                }
-                false
-            }
-            Some(_) => false,
-            None => {
-                dims.insert(net, dim);
-                true
+/// GABM011 — interval sanity: a limiter whose resolved lower bound exceeds
+/// its upper bound clips to an empty interval.
+fn check_limiter_bounds(d: &FunctionalDiagram, report: &mut CheckReport) {
+    for sym in d.symbols() {
+        if !matches!(sym.kind, SymbolKind::Limiter) {
+            continue;
+        }
+        let (Some(min_p), Some(max_p)) = (sym.property("min"), sym.property("max")) else {
+            continue; // GABM006 already reported
+        };
+        if let (Some(lo), Some(hi)) = (property_value(d, min_p), property_value(d, max_p)) {
+            if lo > hi {
+                report.push(
+                    Diagnostic::new(
+                        Code::DegenerateLimiter,
+                        format!("{sym} has min {lo} > max {hi}: the pass band is empty"),
+                        Location::Symbol(SymbolId(sym.id)),
+                    )
+                    .with_note(format!(
+                        "'min' resolves to {lo}, 'max' resolves to {hi} (parameter defaults applied)"
+                    )),
+                );
             }
         }
+    }
+}
+
+/// GABM007/GABM012 — propagates dimensions over nets to a fixpoint,
+/// reporting conflicts together with the inference chain that led to each
+/// contradictory assignment.
+fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
+    struct Infer {
+        dims: HashMap<NetId, Dimension>,
+        /// How each net got its dimension, one human-readable step per hop.
+        chains: HashMap<NetId, Vec<String>>,
+        /// (net, established, conflicting, chain of the conflicting side).
+        conflicts: Vec<(NetId, Dimension, Dimension, Vec<String>)>,
+    }
+
+    impl Infer {
+        fn assign(
+            &mut self,
+            net: NetId,
+            dim: Dimension,
+            step: String,
+            from: Option<NetId>,
+        ) -> bool {
+            let chain_from = |s: &Self| {
+                let mut chain = from
+                    .and_then(|f| s.chains.get(&f).cloned())
+                    .unwrap_or_default();
+                chain.push(step.clone());
+                chain
+            };
+            match self.dims.get(&net) {
+                Some(existing) if *existing != dim => {
+                    if !self.conflicts.iter().any(|(n, _, _, _)| *n == net) {
+                        let chain = chain_from(self);
+                        self.conflicts.push((net, *existing, dim, chain));
+                    }
+                    false
+                }
+                Some(_) => false,
+                None => {
+                    let chain = chain_from(self);
+                    self.chains.insert(net, chain);
+                    self.dims.insert(net, dim);
+                    true
+                }
+            }
+        }
+    }
+
+    let mut inf = Infer {
+        dims: HashMap::new(),
+        chains: HashMap::new(),
+        conflicts: Vec::new(),
     };
+    // GABM012 violations: (net, offending dimension, function symbol).
+    let mut func_violations: Vec<(NetId, Dimension, SymbolId)> = Vec::new();
 
     // Seed from fixed port dimensions.
     for sym in d.symbols() {
@@ -239,7 +319,12 @@ fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
                     port: idx,
                 };
                 if let Some(net) = d.net_of(pr) {
-                    assign(&mut dims, &mut conflicts, net.id, dim);
+                    inf.assign(
+                        net.id,
+                        dim,
+                        format!("port '{}' of {sym} is fixed to {dim}", spec.name),
+                        None,
+                    );
                 }
             }
         }
@@ -266,38 +351,86 @@ fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
                 SymbolKind::Gain => {
                     let prop_dim = property_dimension(d, sym.property("a"));
                     if let (Some(i), Some(o)) = (net_at(sym, "in"), net_at(sym, "out")) {
-                        if let Some(di) = dims.get(&i).copied() {
-                            changed |= assign(&mut dims, &mut conflicts, o, di * prop_dim);
-                        } else if let Some(doo) = dims.get(&o).copied() {
-                            changed |= assign(&mut dims, &mut conflicts, i, doo / prop_dim);
+                        if let Some(di) = inf.dims.get(&i).copied() {
+                            let dim = di * prop_dim;
+                            changed |= inf.assign(
+                                o,
+                                dim,
+                                format!("{di} scaled by {sym} yields {dim}"),
+                                Some(i),
+                            );
+                        } else if let Some(doo) = inf.dims.get(&o).copied() {
+                            let dim = doo / prop_dim;
+                            changed |= inf.assign(
+                                i,
+                                dim,
+                                format!("{doo} back through {sym} yields {dim}"),
+                                Some(o),
+                            );
                         }
                     }
                 }
-                SymbolKind::Limiter | SymbolKind::Delay | SymbolKind::UnitDelay
+                SymbolKind::Limiter
+                | SymbolKind::Delay
+                | SymbolKind::UnitDelay
                 | SymbolKind::TransferFunction { .. } => {
                     if let (Some(i), Some(o)) = (net_at(sym, "in"), net_at(sym, "out")) {
-                        if let Some(di) = dims.get(&i).copied() {
-                            changed |= assign(&mut dims, &mut conflicts, o, di);
-                        } else if let Some(doo) = dims.get(&o).copied() {
-                            changed |= assign(&mut dims, &mut conflicts, i, doo);
+                        if let Some(di) = inf.dims.get(&i).copied() {
+                            changed |= inf.assign(
+                                o,
+                                di,
+                                format!("{di} passes through {sym} unchanged"),
+                                Some(i),
+                            );
+                        } else if let Some(doo) = inf.dims.get(&o).copied() {
+                            changed |= inf.assign(
+                                i,
+                                doo,
+                                format!("{doo} back through {sym} unchanged"),
+                                Some(o),
+                            );
                         }
                     }
                 }
                 SymbolKind::Differentiator => {
                     if let (Some(i), Some(o)) = (net_at(sym, "in"), net_at(sym, "out")) {
-                        if let Some(di) = dims.get(&i).copied() {
-                            changed |= assign(&mut dims, &mut conflicts, o, di.per_time());
-                        } else if let Some(doo) = dims.get(&o).copied() {
-                            changed |= assign(&mut dims, &mut conflicts, i, doo.times_time());
+                        if let Some(di) = inf.dims.get(&i).copied() {
+                            let dim = di.per_time();
+                            changed |= inf.assign(
+                                o,
+                                dim,
+                                format!("{di} differentiated by {sym} yields {dim}"),
+                                Some(i),
+                            );
+                        } else if let Some(doo) = inf.dims.get(&o).copied() {
+                            let dim = doo.times_time();
+                            changed |= inf.assign(
+                                i,
+                                dim,
+                                format!("{doo} back through {sym} yields {dim}"),
+                                Some(o),
+                            );
                         }
                     }
                 }
                 SymbolKind::Integrator => {
                     if let (Some(i), Some(o)) = (net_at(sym, "in"), net_at(sym, "out")) {
-                        if let Some(di) = dims.get(&i).copied() {
-                            changed |= assign(&mut dims, &mut conflicts, o, di.times_time());
-                        } else if let Some(doo) = dims.get(&o).copied() {
-                            changed |= assign(&mut dims, &mut conflicts, i, doo.per_time());
+                        if let Some(di) = inf.dims.get(&i).copied() {
+                            let dim = di.times_time();
+                            changed |= inf.assign(
+                                o,
+                                dim,
+                                format!("{di} integrated by {sym} yields {dim}"),
+                                Some(i),
+                            );
+                        } else if let Some(doo) = inf.dims.get(&o).copied() {
+                            let dim = doo.per_time();
+                            changed |= inf.assign(
+                                i,
+                                dim,
+                                format!("{doo} back through {sym} yields {dim}"),
+                                Some(o),
+                            );
                         }
                     }
                 }
@@ -309,10 +442,15 @@ fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
                     let known = nets
                         .iter()
                         .flatten()
-                        .find_map(|n| dims.get(n).copied());
-                    if let Some(dim) = known {
+                        .find_map(|n| inf.dims.get(n).copied().map(|dim| (*n, dim)));
+                    if let Some((src, dim)) = known {
                         for n in nets.iter().flatten() {
-                            changed |= assign(&mut dims, &mut conflicts, *n, dim);
+                            changed |= inf.assign(
+                                *n,
+                                dim,
+                                format!("{sym} carries one quantity ({dim}) on every port"),
+                                Some(src),
+                            );
                         }
                     }
                 }
@@ -323,7 +461,7 @@ fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
                     let out_net = net_at(sym, "out");
                     let in_dims: Vec<Option<Dimension>> = in_nets
                         .iter()
-                        .map(|n| n.and_then(|n| dims.get(&n).copied()))
+                        .map(|n| n.and_then(|n| inf.dims.get(&n).copied()))
                         .collect();
                     if in_dims.iter().all(Option::is_some) {
                         let mut acc = Dimension::NONE;
@@ -332,30 +470,38 @@ fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
                             acc = if *mul { acc * dim } else { acc / dim };
                         }
                         if let Some(o) = out_net {
-                            changed |= assign(&mut dims, &mut conflicts, o, acc);
+                            changed |= inf.assign(
+                                o,
+                                acc,
+                                format!("{sym} combines its input quantities into {acc}"),
+                                in_nets.first().copied().flatten(),
+                            );
                         }
                     }
                 }
                 SymbolKind::Separator => {
                     if let Some(i) = net_at(sym, "in") {
-                        if let Some(di) = dims.get(&i).copied() {
+                        if let Some(di) = inf.dims.get(&i).copied() {
                             for name in ["pos", "neg"] {
                                 if let Some(o) = net_at(sym, name) {
-                                    changed |= assign(&mut dims, &mut conflicts, o, di);
+                                    changed |= inf.assign(
+                                        o,
+                                        di,
+                                        format!("{di} passes through {sym} unchanged"),
+                                        Some(i),
+                                    );
                                 }
                             }
                         }
                     }
                 }
                 SymbolKind::Function { func } => {
-                    // Function inputs must be dimensionless.
                     for k in 0..func.arity() {
                         if let Some(i) = net_at(sym, &format!("in{k}")) {
-                            if let Some(di) = dims.get(&i).copied() {
-                                if !di.is_none() {
-                                    if !conflicts.iter().any(|(n, _, _)| *n == i) {
-                                        conflicts.push((i, di, Dimension::NONE));
-                                    }
+                            if let Some(di) = inf.dims.get(&i).copied() {
+                                if !di.is_none() && !func_violations.iter().any(|(n, _, _)| *n == i)
+                                {
+                                    func_violations.push((i, di, SymbolId(sym.id)));
                                 }
                             }
                         }
@@ -366,20 +512,50 @@ fn infer_dimensions(d: &FunctionalDiagram, report: &mut CheckReport) {
         }
     }
 
-    for (net, a, b) in conflicts {
-        report.error(
+    for (net, a, b, chain) in inf.conflicts {
+        let mut diag = Diagnostic::new(
+            Code::DimensionConflict,
             format!(
                 "net {} mixes incompatible quantities: {a} vs {b} (oil and water will not mix)",
                 net.0
             ),
-            None,
-            Some(net),
+            Location::Net(net),
         );
+        if let Some(established) = inf.chains.get(&net) {
+            for step in established {
+                diag = diag.with_note(format!("{a} established because {step}"));
+            }
+        }
+        for step in &chain {
+            diag = diag.with_note(format!("{b} inferred because {step}"));
+        }
+        report.push(diag);
     }
-    report.net_dimensions = dims;
+    for (net, dim, sym) in func_violations {
+        let name = d
+            .symbol(sym)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|_| format!("symbol {}", sym.0));
+        let mut diag = Diagnostic::new(
+            Code::DimensionedFunctionInput,
+            format!(
+                "input of {name} must be dimensionless but net {} carries {dim}",
+                net.0
+            ),
+            Location::Net(net),
+        );
+        if let Some(chain) = inf.chains.get(&net) {
+            for step in chain {
+                diag = diag.with_note(format!("{dim} established because {step}"));
+            }
+        }
+        report.push(diag);
+    }
+    report.net_dimensions = inf.dims;
 }
 
-/// Detects algebraic loops: cycles through combinational symbols only.
+/// GABM008 — detects algebraic loops (cycles through combinational symbols
+/// only) and reports the full cycle path.
 fn check_algebraic_loops(d: &FunctionalDiagram, report: &mut CheckReport) {
     let n = d.symbol_count();
     // adjacency: driver symbol -> consumer symbol (combinational consumers
@@ -413,30 +589,163 @@ fn check_algebraic_loops(d: &FunctionalDiagram, report: &mut CheckReport) {
             }
         }
     }
-    // DFS three-colour cycle detection.
+    // DFS three-colour cycle detection carrying the visit stack so the
+    // whole cycle can be reported, not just one member.
     let mut colour = vec![0u8; n + 1];
-    fn dfs(v: usize, adj: &[Vec<usize>], colour: &mut [u8]) -> bool {
+    let mut stack: Vec<usize> = Vec::new();
+    fn dfs(
+        v: usize,
+        adj: &[Vec<usize>],
+        colour: &mut [u8],
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
         colour[v] = 1;
+        stack.push(v);
         for &w in &adj[v] {
             if colour[w] == 1 {
-                return true;
+                let start = stack
+                    .iter()
+                    .position(|&x| x == w)
+                    .expect("grey node is on the stack");
+                return Some(stack[start..].to_vec());
             }
-            if colour[w] == 0 && dfs(w, adj, colour) {
-                return true;
+            if colour[w] == 0 {
+                if let Some(cycle) = dfs(w, adj, colour, stack) {
+                    return Some(cycle);
+                }
             }
         }
+        stack.pop();
         colour[v] = 2;
-        false
+        None
     }
     for v in 1..=n {
-        if colour[v] == 0 && dfs(v, &adj, &mut colour) {
-            report.error(
-                "algebraic loop: a combinational cycle must be broken by a delay element"
-                    .to_string(),
-                Some(SymbolId(v)),
-                None,
-            );
-            return;
+        if colour[v] == 0 {
+            if let Some(cycle) = dfs(v, &adj, &mut colour, &mut stack) {
+                let describe = |id: usize| {
+                    d.symbol(SymbolId(id))
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|_| format!("symbol {id}"))
+                };
+                let path: Vec<String> = cycle
+                    .iter()
+                    .chain([&cycle[0]])
+                    .map(|&id| describe(id))
+                    .collect();
+                report.push(
+                    Diagnostic::new(
+                        Code::AlgebraicLoop,
+                        "algebraic loop: a combinational cycle must be broken by a delay element"
+                            .to_string(),
+                        Location::Symbol(SymbolId(cycle[0])),
+                    )
+                    .with_note(format!("cycle path: {}", path.join(" -> "))),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// GABM009 — diagram dead code: a symbol with output ports none of whose
+/// values (transitively) reach a generator, a pin, or the diagram
+/// interface contributes nothing to the generated model.
+fn check_dead_symbols(d: &FunctionalDiagram, report: &mut CheckReport) {
+    let n = d.symbol_count();
+    let exposed: Vec<PortRef> = d.interface().iter().map(|itf| itf.inner).collect();
+    // reversed edges: consumer -> drivers feeding it.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+    for net in d.nets() {
+        let mut drivers: Vec<usize> = Vec::new();
+        let mut consumers: Vec<usize> = Vec::new();
+        for p in &net.ports {
+            if let Ok(sym) = d.symbol(p.symbol) {
+                match sym.ports()[p.port].direction {
+                    PortDirection::Output => drivers.push(sym.id),
+                    PortDirection::Input | PortDirection::Bidir => consumers.push(sym.id),
+                }
+            }
+        }
+        for &c in &consumers {
+            for &drv in &drivers {
+                rev[c].push(drv);
+            }
+        }
+    }
+    // Live seeds: sinks with externally observable effects.
+    let mut live = vec![false; n + 1];
+    let mut queue: Vec<usize> = Vec::new();
+    for sym in d.symbols() {
+        let is_sink = matches!(
+            sym.kind,
+            SymbolKind::Generator { .. } | SymbolKind::Pin { .. }
+        ) || exposed.iter().any(|pr| pr.symbol.0 == sym.id);
+        if is_sink {
+            live[sym.id] = true;
+            queue.push(sym.id);
+        }
+    }
+    while let Some(v) = queue.pop() {
+        for &w in &rev[v] {
+            if !live[w] {
+                live[w] = true;
+                queue.push(w);
+            }
+        }
+    }
+    for sym in d.symbols() {
+        if live[sym.id] {
+            continue;
+        }
+        let has_output = sym
+            .ports()
+            .iter()
+            .any(|p| p.direction == PortDirection::Output);
+        let any_connected = sym.ports().iter().enumerate().any(|(idx, _)| {
+            let pr = PortRef {
+                symbol: SymbolId(sym.id),
+                port: idx,
+            };
+            d.net_of(pr).is_some() || exposed.contains(&pr)
+        });
+        // Fully disconnected symbols are already GABM005.
+        if has_output && any_connected {
+            report.push(Diagnostic::new(
+                Code::DeadSymbol,
+                format!(
+                    "{sym} is dead: its output never reaches a generator, pin, or interface port"
+                ),
+                Location::Symbol(SymbolId(sym.id)),
+            ));
+        }
+    }
+}
+
+/// GABM010 — a declared parameter that no property and no parameter symbol
+/// references would silently disappear from the generated model's
+/// behaviour (it still appears in the parameter list).
+fn check_unused_parameters(d: &FunctionalDiagram, report: &mut CheckReport) {
+    let mut used: HashSet<&str> = HashSet::new();
+    for sym in d.symbols() {
+        for value in sym.properties.values() {
+            match value {
+                PropertyValue::Param(p) | PropertyValue::NegParam(p) => {
+                    used.insert(p.as_str());
+                }
+                PropertyValue::Number(_) => {}
+            }
+        }
+        if let SymbolKind::Parameter { param, .. } = &sym.kind {
+            used.insert(param.as_str());
+        }
+    }
+    for decl in d.parameters() {
+        if !used.contains(decl.name.as_str()) {
+            report.push(Diagnostic::new(
+                Code::UnusedParameter,
+                format!("parameter '{}' is declared but never referenced", decl.name),
+                Location::None,
+            ));
         }
     }
 }
@@ -472,12 +781,21 @@ mod tests {
         d
     }
 
+    fn has_code(r: &CheckReport, code: Code) -> bool {
+        r.diagnostics.iter().any(|di| di.code == code)
+    }
+
     #[test]
     fn clean_diagram_passes() {
         let d = probe_to_gain();
         let r = check_diagram(&d);
         assert!(r.is_consistent(), "diagnostics: {:?}", r.diagnostics);
         assert_eq!(r.error_count(), 0);
+        assert!(
+            r.diagnostics.is_empty(),
+            "no warnings either: {:?}",
+            r.diagnostics
+        );
     }
 
     #[test]
@@ -512,10 +830,16 @@ mod tests {
             .unwrap();
         let r = check_diagram(&d);
         assert!(!r.is_consistent());
-        assert!(r
+        let conflict = r
             .diagnostics
             .iter()
-            .any(|di| di.message.contains("oil and water")));
+            .find(|di| di.code == Code::DimensionConflict)
+            .expect("GABM007 reported");
+        assert!(conflict.message.contains("oil and water"));
+        assert!(
+            !conflict.notes.is_empty(),
+            "conflict must explain its inference chain"
+        );
     }
 
     #[test]
@@ -530,10 +854,7 @@ mod tests {
             .unwrap();
         let r = check_diagram(&d);
         assert!(!r.is_consistent());
-        assert!(r
-            .diagnostics
-            .iter()
-            .any(|di| di.message.contains("no output port")));
+        assert!(has_code(&r, Code::UndrivenNet));
     }
 
     #[test]
@@ -542,10 +863,8 @@ mod tests {
         d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(2.0))], None);
         let r = check_diagram(&d);
         assert!(!r.is_consistent());
-        assert!(r
-            .diagnostics
-            .iter()
-            .any(|di| di.message.contains("unconnected")));
+        assert!(has_code(&r, Code::UnconnectedInput));
+        assert!(has_code(&r, Code::DisconnectedSymbol));
     }
 
     #[test]
@@ -556,14 +875,55 @@ mod tests {
         d.connect(d.port(c, "out").unwrap(), d.port(g, "in").unwrap())
             .unwrap();
         let r = check_diagram(&d);
-        assert!(r
+        let diag = r
             .diagnostics
             .iter()
-            .any(|di| di.message.contains("gain property")));
+            .find(|di| di.code == Code::MissingProperty)
+            .expect("GABM006 reported");
+        assert!(diag.message.contains("gain property"));
     }
 
     #[test]
-    fn algebraic_loop_detected() {
+    fn degenerate_limiter_detected() {
+        let mut d = FunctionalDiagram::new("lim");
+        let c = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+        let lim = d.add_symbol_with(
+            SymbolKind::Limiter,
+            &[
+                ("min", PropertyValue::Number(2.0)),
+                ("max", PropertyValue::Number(-2.0)),
+            ],
+            None,
+        );
+        d.connect(d.port(c, "out").unwrap(), d.port(lim, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(!r.is_consistent());
+        assert!(has_code(&r, Code::DegenerateLimiter));
+    }
+
+    #[test]
+    fn degenerate_limiter_through_parameter_defaults() {
+        let mut d = FunctionalDiagram::new("lim2");
+        d.add_parameter("rate", -5.0, Dimension::NONE);
+        let c = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+        // min = -rate = +5, max = rate = -5: empty band via defaults.
+        let lim = d.add_symbol_with(
+            SymbolKind::Limiter,
+            &[
+                ("min", PropertyValue::NegParam("rate".into())),
+                ("max", PropertyValue::Param("rate".into())),
+            ],
+            None,
+        );
+        d.connect(d.port(c, "out").unwrap(), d.port(lim, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        assert!(has_code(&r, Code::DegenerateLimiter));
+    }
+
+    #[test]
+    fn algebraic_loop_detected_with_full_path() {
         let mut d = FunctionalDiagram::new("loop");
         let g1 = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
         let g2 = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
@@ -572,10 +932,19 @@ mod tests {
         d.connect(d.port(g2, "out").unwrap(), d.port(g1, "in").unwrap())
             .unwrap();
         let r = check_diagram(&d);
-        assert!(r
+        let diag = r
             .diagnostics
             .iter()
-            .any(|di| di.message.contains("algebraic loop")));
+            .find(|di| di.code == Code::AlgebraicLoop)
+            .expect("GABM008 reported");
+        assert!(diag.message.contains("algebraic loop"));
+        let path = diag
+            .notes
+            .iter()
+            .find(|n| n.starts_with("cycle path:"))
+            .expect("cycle path note");
+        // Both loop members and the closing hop appear in the path.
+        assert_eq!(path.matches("->").count(), 2, "path: {path}");
     }
 
     #[test]
@@ -594,13 +963,43 @@ mod tests {
         d.connect(d.port(dly, "out").unwrap(), d.port(add, "in1").unwrap())
             .unwrap();
         let r = check_diagram(&d);
+        assert!(!has_code(&r, Code::AlgebraicLoop), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn dead_symbol_detected() {
+        // probe -> gain chain that reaches the generator, plus a second
+        // gain hanging off the probe whose output goes nowhere.
+        let mut d = probe_to_gain();
+        let dead = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(2.0))], None);
+        let probe_out = d.port(crate::diagram::SymbolId(2), "out").unwrap();
+        d.connect(probe_out, d.port(dead, "in").unwrap()).unwrap();
+        let r = check_diagram(&d);
         assert!(
-            !r.diagnostics
-                .iter()
-                .any(|di| di.message.contains("algebraic loop")),
-            "{:?}",
+            r.is_consistent(),
+            "dead code is a warning: {:?}",
             r.diagnostics
         );
+        let diag = r
+            .diagnostics
+            .iter()
+            .find(|di| di.code == Code::DeadSymbol)
+            .expect("GABM009 reported");
+        assert_eq!(diag.symbol(), Some(dead));
+    }
+
+    #[test]
+    fn unused_parameter_detected() {
+        let mut d = probe_to_gain();
+        d.add_parameter("ghost", 1.0, Dimension::NONE);
+        let r = check_diagram(&d);
+        assert!(r.is_consistent());
+        let diag = r
+            .diagnostics
+            .iter()
+            .find(|di| di.code == Code::UnusedParameter)
+            .expect("GABM010 reported");
+        assert!(diag.message.contains("ghost"));
     }
 
     #[test]
@@ -627,10 +1026,7 @@ mod tests {
         // adder in1 (gain out of a dimensionless gain on voltage) = VOLTAGE;
         // unified with in0 (VOLTAGE) and out.
         let out_net = d.net_of(d.port(add, "in1").unwrap()).unwrap();
-        assert_eq!(
-            r.net_dimensions.get(&out_net.id),
-            Some(&Dimension::VOLTAGE)
-        );
+        assert_eq!(r.net_dimensions.get(&out_net.id), Some(&Dimension::VOLTAGE));
     }
 
     #[test]
@@ -666,10 +1062,7 @@ mod tests {
         assert_eq!(r.net_dimensions.get(&out_net.id), Some(&Dimension::POWER));
         // And the limiter propagates it onward — but its out is dangling, so
         // just confirm no dimension errors occurred.
-        assert!(!r
-            .diagnostics
-            .iter()
-            .any(|di| di.message.contains("oil and water")));
+        assert!(!has_code(&r, Code::DimensionConflict));
     }
 
     #[test]
@@ -685,10 +1078,8 @@ mod tests {
         d.connect(d.port(v, "out").unwrap(), d.port(f, "in0").unwrap())
             .unwrap();
         let r = check_diagram(&d);
-        assert!(r
-            .diagnostics
-            .iter()
-            .any(|di| di.message.contains("oil and water")));
+        assert!(!r.is_consistent());
+        assert!(has_code(&r, Code::DimensionedFunctionInput));
     }
 
     #[test]

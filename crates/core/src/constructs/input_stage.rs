@@ -198,10 +198,7 @@ mod tests {
         let gen_in = d
             .net_of(d.port(crate::diagram::SymbolId(3), "in").unwrap())
             .unwrap();
-        assert_eq!(
-            r.net_dimensions.get(&gen_in.id),
-            Some(&Dimension::CURRENT)
-        );
+        assert_eq!(r.net_dimensions.get(&gen_in.id), Some(&Dimension::CURRENT));
     }
 
     #[test]

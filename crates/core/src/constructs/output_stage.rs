@@ -184,9 +184,7 @@ mod tests {
         assert_eq!(d.symbol_count(), 6);
         let r = check_diagram(&d);
         assert!(r.is_consistent(), "{:?}", r.diagnostics);
-        assert!(d
-            .symbols()
-            .any(|s| matches!(s.kind, SymbolKind::Limiter)));
+        assert!(d.symbols().any(|s| matches!(s.kind, SymbolKind::Limiter)));
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl PowerSupplySpec {
 
         // VDD balance: iloss + ipol − Σ neg_k.
         let mut vdd_signs = vec![true, true];
-        vdd_signs.extend(std::iter::repeat(false).take(self.n_stages));
+        vdd_signs.extend(std::iter::repeat_n(false, self.n_stages));
         let vdd_sum = d.add_symbol(SymbolKind::Adder { signs: vdd_signs });
         d.connect(d.port(iloss, "out")?, d.port(vdd_sum, "in0")?)?;
         d.connect(d.port(gpol, "out")?, d.port(vdd_sum, "in1")?)?;
@@ -132,7 +132,7 @@ impl PowerSupplySpec {
 
         // VSS balance: −iloss − ipol − Σ pos_k.
         let mut vss_signs = vec![false, false];
-        vss_signs.extend(std::iter::repeat(false).take(self.n_stages));
+        vss_signs.extend(std::iter::repeat_n(false, self.n_stages));
         let vss_sum = d.add_symbol(SymbolKind::Adder { signs: vss_signs });
         d.connect(d.port(iloss, "out")?, d.port(vss_sum, "in0")?)?;
         d.connect(d.port(gpol, "out")?, d.port(vss_sum, "in1")?)?;

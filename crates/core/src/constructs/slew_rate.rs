@@ -122,7 +122,11 @@ impl SlewRateSpec {
         DefinitionCard::builder("slew_rate")
             .describe("slope limitation with distinct maximum rise and fall rates")
             .pin("in", PinDomain::Electrical, "signal input (conceptual)")
-            .pin("out", PinDomain::Electrical, "slew-limited output (conceptual)")
+            .pin(
+                "out",
+                PinDomain::Electrical,
+                "slew-limited output (conceptual)",
+            )
             .parameter(
                 &self.rise_name(),
                 self.max_rise,

@@ -1,0 +1,376 @@
+//! Diagnostic infrastructure shared by every static-analysis layer.
+//!
+//! The paper's consistency test (§3.2) and ordering rules (§4.1) report
+//! findings; so do the dataflow lints over the lowered IR and FAS source in
+//! `gabm-lint`. All of them speak the same vocabulary defined here: a
+//! stable [`Code`], a [`Severity`], a [`Location`] naming the offending
+//! symbol, net, or source span, and optional explanatory notes (the
+//! dimension-inference chain, the full cycle path of an algebraic loop).
+
+use crate::diagram::{NetId, SymbolId};
+use crate::json::Value;
+use std::fmt;
+
+/// Stable diagnostic codes. The numeric ranges partition by analysis
+/// layer: `GABM0xx` with xx < 20 are diagram-level (§3.2/§4.1), 02x are
+/// lowered-IR dataflow lints, 03x are FAS source lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    /// GABM001 — a net is driven by more than one output port.
+    MultipleDrivers,
+    /// GABM002 — a consumed net is bound to no output port.
+    UndrivenNet,
+    /// GABM003 — an input port is unconnected.
+    UnconnectedInput,
+    /// GABM004 — an output port is unconnected.
+    UnconnectedOutput,
+    /// GABM005 — a symbol is not connected at all.
+    DisconnectedSymbol,
+    /// GABM006 — a required property is missing.
+    MissingProperty,
+    /// GABM007 — a net mixes incompatible physical quantities.
+    DimensionConflict,
+    /// GABM008 — an algebraic loop (combinational cycle) was found.
+    AlgebraicLoop,
+    /// GABM009 — a symbol's outputs never reach a generator or the
+    /// diagram interface (dead code in the diagram).
+    DeadSymbol,
+    /// GABM010 — a declared parameter is referenced nowhere.
+    UnusedParameter,
+    /// GABM011 — a limiter's lower bound exceeds its upper bound.
+    DegenerateLimiter,
+    /// GABM012 — a function input carries a physical dimension.
+    DimensionedFunctionInput,
+    /// GABM020 — an IR statement reads a variable before any statement
+    /// defines it.
+    IrUseBeforeDef,
+    /// GABM021 — an IR assignment whose target is never read or imposed.
+    IrDeadAssignment,
+    /// GABM022 — constant folding found a division by zero or a domain
+    /// error in the lowered code.
+    IrConstFoldError,
+    /// GABM030 — a FAS variable is used before its `make` definition.
+    FasUseBeforeDef,
+    /// GABM031 — a FAS variable is assigned but never used.
+    FasUnusedVariable,
+    /// GABM032 — a FAS conditional branch can never execute.
+    FasDeadBranch,
+    /// GABM033 — a FAS expression divides by a constant zero.
+    FasDivisionByZero,
+    /// GABM034 — a FAS intrinsic is called with a constant argument
+    /// outside its domain.
+    FasDomainError,
+    /// GABM035 — `limit(x, lo, hi)` with constant `lo > hi`.
+    FasDegenerateLimit,
+}
+
+impl Code {
+    /// The stable code string, e.g. `"GABM001"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::MultipleDrivers => "GABM001",
+            Code::UndrivenNet => "GABM002",
+            Code::UnconnectedInput => "GABM003",
+            Code::UnconnectedOutput => "GABM004",
+            Code::DisconnectedSymbol => "GABM005",
+            Code::MissingProperty => "GABM006",
+            Code::DimensionConflict => "GABM007",
+            Code::AlgebraicLoop => "GABM008",
+            Code::DeadSymbol => "GABM009",
+            Code::UnusedParameter => "GABM010",
+            Code::DegenerateLimiter => "GABM011",
+            Code::DimensionedFunctionInput => "GABM012",
+            Code::IrUseBeforeDef => "GABM020",
+            Code::IrDeadAssignment => "GABM021",
+            Code::IrConstFoldError => "GABM022",
+            Code::FasUseBeforeDef => "GABM030",
+            Code::FasUnusedVariable => "GABM031",
+            Code::FasDeadBranch => "GABM032",
+            Code::FasDivisionByZero => "GABM033",
+            Code::FasDomainError => "GABM034",
+            Code::FasDegenerateLimit => "GABM035",
+        }
+    }
+
+    /// Default severity of findings with this code.
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            Code::UnconnectedOutput
+            | Code::DisconnectedSymbol
+            | Code::DeadSymbol
+            | Code::UnusedParameter
+            | Code::IrDeadAssignment
+            | Code::FasUnusedVariable
+            | Code::FasDeadBranch => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line summary of what the code means.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            Code::MultipleDrivers => "net driven by more than one output port",
+            Code::UndrivenNet => "consumed net bound to no output port",
+            Code::UnconnectedInput => "unconnected input port",
+            Code::UnconnectedOutput => "unconnected output port",
+            Code::DisconnectedSymbol => "symbol not connected at all",
+            Code::MissingProperty => "required property missing",
+            Code::DimensionConflict => "incompatible physical quantities on one net",
+            Code::AlgebraicLoop => "combinational cycle not broken by a delay",
+            Code::DeadSymbol => "symbol output reaches no generator or interface",
+            Code::UnusedParameter => "declared parameter never referenced",
+            Code::DegenerateLimiter => "limiter lower bound exceeds upper bound",
+            Code::DimensionedFunctionInput => "function input must be dimensionless",
+            Code::IrUseBeforeDef => "IR variable read before definition",
+            Code::IrDeadAssignment => "IR assignment never read",
+            Code::IrConstFoldError => "constant folding found an arithmetic error",
+            Code::FasUseBeforeDef => "variable used before its make definition",
+            Code::FasUnusedVariable => "variable assigned but never used",
+            Code::FasDeadBranch => "conditional branch can never execute",
+            Code::FasDivisionByZero => "division by constant zero",
+            Code::FasDomainError => "intrinsic called outside its domain",
+            Code::FasDegenerateLimit => "limit() with constant lo > hi",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The artifact cannot be code-generated / executed.
+    Error,
+    /// Suspicious but tolerated.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// Where a finding is anchored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Location {
+    /// No specific location.
+    None,
+    /// A diagram symbol.
+    Symbol(SymbolId),
+    /// A diagram net.
+    Net(NetId),
+    /// A port of a diagram symbol.
+    Port {
+        /// Owning symbol.
+        symbol: SymbolId,
+        /// Port name.
+        port: String,
+    },
+    /// A lowered-IR statement (index into `CodeIr::statements`).
+    Statement(usize),
+    /// A source position (1-based line and column).
+    Source {
+        /// Line number.
+        line: usize,
+        /// Column number.
+        col: usize,
+    },
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::None => Ok(()),
+            Location::Symbol(s) => write!(f, "symbol {}", s.0),
+            Location::Net(n) => write!(f, "net {}", n.0),
+            Location::Port { symbol, port } => write!(f, "port '{port}' of symbol {}", symbol.0),
+            Location::Statement(i) => write!(f, "statement {i}"),
+            Location::Source { line, col } => write!(f, "{line}:{col}"),
+        }
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Anchor.
+    pub location: Location,
+    /// Explanatory notes (inference chains, cycle paths, …).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with the code's default severity and no notes.
+    pub fn new(code: Code, message: impl Into<String>, location: Location) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            location,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends an explanatory note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Offending symbol, when the location names one.
+    pub fn symbol(&self) -> Option<SymbolId> {
+        match &self.location {
+            Location::Symbol(s) | Location::Port { symbol: s, .. } => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Offending net, when the location names one.
+    pub fn net(&self) -> Option<NetId> {
+        match &self.location {
+            Location::Net(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Machine-readable form, used by `gabm lint --format json`.
+    pub fn to_json(&self) -> Value {
+        let mut obj = vec![
+            ("code".to_string(), Value::String(self.code.as_str().into())),
+            (
+                "severity".to_string(),
+                Value::String(self.severity.to_string()),
+            ),
+            ("message".to_string(), Value::String(self.message.clone())),
+            ("location".to_string(), self.location_json()),
+        ];
+        if !self.notes.is_empty() {
+            obj.push((
+                "notes".to_string(),
+                Value::Array(self.notes.iter().cloned().map(Value::String).collect()),
+            ));
+        }
+        Value::Object(obj)
+    }
+
+    fn location_json(&self) -> Value {
+        match &self.location {
+            Location::None => Value::Null,
+            Location::Symbol(s) => {
+                Value::Object(vec![("symbol".to_string(), Value::Number(s.0 as f64))])
+            }
+            Location::Net(n) => Value::Object(vec![("net".to_string(), Value::Number(n.0 as f64))]),
+            Location::Port { symbol, port } => Value::Object(vec![
+                ("symbol".to_string(), Value::Number(symbol.0 as f64)),
+                ("port".to_string(), Value::String(port.clone())),
+            ]),
+            Location::Statement(i) => {
+                Value::Object(vec![("statement".to_string(), Value::Number(*i as f64))])
+            }
+            Location::Source { line, col } => Value::Object(vec![
+                ("line".to_string(), Value::Number(*line as f64)),
+                ("col".to_string(), Value::Number(*col as f64)),
+            ]),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if self.location != Location::None {
+            write!(f, "\n  --> {}", self.location)?;
+        }
+        for note in &self.notes {
+            write!(f, "\n  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::MultipleDrivers,
+            Code::UndrivenNet,
+            Code::UnconnectedInput,
+            Code::UnconnectedOutput,
+            Code::DisconnectedSymbol,
+            Code::MissingProperty,
+            Code::DimensionConflict,
+            Code::AlgebraicLoop,
+            Code::DeadSymbol,
+            Code::UnusedParameter,
+            Code::DegenerateLimiter,
+            Code::DimensionedFunctionInput,
+            Code::IrUseBeforeDef,
+            Code::IrDeadAssignment,
+            Code::IrConstFoldError,
+            Code::FasUseBeforeDef,
+            Code::FasUnusedVariable,
+            Code::FasDeadBranch,
+            Code::FasDivisionByZero,
+            Code::FasDomainError,
+            Code::FasDegenerateLimit,
+        ];
+        let mut strs: Vec<&str> = all.iter().map(Code::as_str).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), all.len(), "codes must be unique");
+        for c in &all {
+            assert!(c.as_str().starts_with("GABM"));
+            assert!(!c.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn rendering_includes_code_location_and_notes() {
+        let d = Diagnostic::new(
+            Code::MultipleDrivers,
+            "net 3 driven by 2 output ports",
+            Location::Net(NetId(3)),
+        )
+        .with_note("first driver: symbol 1");
+        let text = d.to_string();
+        assert!(text.contains("error[GABM001]"));
+        assert!(text.contains("net 3"));
+        assert!(text.contains("note: first driver"));
+    }
+
+    #[test]
+    fn json_form_is_parseable() {
+        let d = Diagnostic::new(
+            Code::FasDivisionByZero,
+            "division by zero",
+            Location::Source { line: 4, col: 9 },
+        );
+        let v = d.to_json();
+        let text = v.to_string();
+        let back = Value::parse(&text).expect("valid JSON");
+        assert_eq!(back.get("code").and_then(Value::as_str), Some("GABM033"));
+        assert_eq!(
+            back.get("location")
+                .and_then(|l| l.get("line"))
+                .and_then(Value::as_f64),
+            Some(4.0)
+        );
+    }
+}

@@ -8,21 +8,20 @@
 use crate::quantity::Dimension;
 use crate::symbol::{PortDirection, PropertyValue, Symbol, SymbolKind};
 use crate::CoreError;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// Identifier of a symbol inside one diagram (1-based — the ids appear in
 /// generated variable names such as `yout7`, exactly like the paper's §4.2
 /// listing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SymbolId(pub usize);
 
 /// Identifier of a net inside one diagram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NetId(pub usize);
 
 /// A reference to one port of one symbol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PortRef {
     /// The symbol.
     pub symbol: SymbolId,
@@ -32,7 +31,7 @@ pub struct PortRef {
 
 /// A net: an equipotential connection of symbol ports ("Nets are formed,
 /// that correspond to signals").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Net {
     /// Stable id of the net.
     pub id: NetId,
@@ -44,7 +43,7 @@ pub struct Net {
 
 /// An externally visible port of the diagram (used when the diagram becomes
 /// a hierarchical GBS).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterfacePort {
     /// External name.
     pub name: String,
@@ -57,7 +56,7 @@ pub struct InterfacePort {
 }
 
 /// A declared model parameter with its default value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParameterDecl {
     /// Parameter name.
     pub name: String,
@@ -85,49 +84,47 @@ pub struct ParameterDecl {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-#[serde(from = "DiagramSerde")]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FunctionalDiagram {
     name: String,
     symbols: Vec<Symbol>,
     nets: Vec<Option<Net>>,
-    #[serde(skip)]
     port_net: HashMap<PortRef, NetId>,
     interface: Vec<InterfacePort>,
     parameters: Vec<ParameterDecl>,
 }
 
-/// Deserialization shadow: rebuilds the port→net index, which is derived
-/// state and not serialized.
-#[derive(Deserialize)]
-struct DiagramSerde {
-    name: String,
-    symbols: Vec<Symbol>,
-    nets: Vec<Option<Net>>,
-    interface: Vec<InterfacePort>,
-    parameters: Vec<ParameterDecl>,
-}
-
-impl From<DiagramSerde> for FunctionalDiagram {
-    fn from(s: DiagramSerde) -> Self {
+impl FunctionalDiagram {
+    /// Reassembles a diagram from its serialized parts, rebuilding the
+    /// port→net index (derived state that is never persisted).
+    pub(crate) fn from_parts(
+        name: String,
+        symbols: Vec<Symbol>,
+        nets: Vec<Option<Net>>,
+        interface: Vec<InterfacePort>,
+        parameters: Vec<ParameterDecl>,
+    ) -> Self {
         let mut port_net = HashMap::new();
-        for net in s.nets.iter().flatten() {
+        for net in nets.iter().flatten() {
             for p in &net.ports {
                 port_net.insert(*p, net.id);
             }
         }
         FunctionalDiagram {
-            name: s.name,
-            symbols: s.symbols,
-            nets: s.nets,
+            name,
+            symbols,
+            nets,
             port_net,
-            interface: s.interface,
-            parameters: s.parameters,
+            interface,
+            parameters,
         }
     }
-}
 
-impl FunctionalDiagram {
+    /// The raw net storage, including `None` holes left by merges
+    /// ([`NetId`]s index into this vector).
+    pub(crate) fn nets_raw(&self) -> &[Option<Net>] {
+        &self.nets
+    }
     /// Creates an empty diagram.
     pub fn new(name: &str) -> Self {
         FunctionalDiagram {
@@ -240,12 +237,7 @@ impl FunctionalDiagram {
     fn net_output_count(&self, net: &Net) -> usize {
         net.ports
             .iter()
-            .filter(|p| {
-                matches!(
-                    self.validate_port(**p),
-                    Ok(PortDirection::Output)
-                )
-            })
+            .filter(|p| matches!(self.validate_port(**p), Ok(PortDirection::Output)))
             .count()
     }
 
@@ -503,9 +495,7 @@ mod tests {
         let g3 = d.add_symbol(SymbolKind::Gain);
         let in3 = d.port(g3, "in").unwrap();
         d.connect(d.port(g1, "out").unwrap(), in3).unwrap();
-        let err = d
-            .connect(d.port(g2, "out").unwrap(), in3)
-            .unwrap_err();
+        let err = d.connect(d.port(g2, "out").unwrap(), in3).unwrap_err();
         assert!(matches!(err, CoreError::IllegalConnection(_)));
     }
 
@@ -622,6 +612,8 @@ mod tests {
             port: 99,
         };
         assert!(d.connect(bad, bad).is_err());
-        assert!(d.set_property(SymbolId(9), "a", PropertyValue::Number(1.0)).is_err());
+        assert!(d
+            .set_property(SymbolId(9), "a", PropertyValue::Number(1.0))
+            .is_err());
     }
 }

@@ -14,13 +14,12 @@
 use crate::card::DefinitionCard;
 use crate::diagram::FunctionalDiagram;
 use crate::CoreError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One named set of extracted parameter values — the link between a
 /// behavioural model and a concrete circuit implementation ("the circuit is
 /// realizable in the limits of extracted parameters").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParameterSet {
     /// Implementation name (e.g. `"cmos_1um_lp"`).
     pub name: String,
@@ -33,7 +32,7 @@ pub struct ParameterSet {
 }
 
 /// A library entry: the three views of a model plus its parameter sets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelEntry {
     /// External view.
     pub card: DefinitionCard,
@@ -106,7 +105,7 @@ impl ModelEntry {
 }
 
 /// A searchable collection of model entries.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelLibrary {
     entries: Vec<ModelEntry>,
 }
@@ -115,6 +114,11 @@ impl ModelLibrary {
     /// Creates an empty library.
     pub fn new() -> Self {
         ModelLibrary::default()
+    }
+
+    /// Reassembles a library from serialized entries.
+    pub(crate) fn from_entries(entries: Vec<ModelEntry>) -> Self {
+        ModelLibrary { entries }
     }
 
     /// Adds an entry.
@@ -311,10 +315,7 @@ mod tests {
         // An unknown parameter never matches.
         assert!(lib.select_by_requirements(&[("zz", 0.0, 1.0)]).is_empty());
         // Multiple requirements are conjunctive.
-        let hits = lib.select_by_requirements(&[
-            ("gin", 0.0, 1.0e-5),
-            ("cin", 4.0e-12, 6.0e-12),
-        ]);
+        let hits = lib.select_by_requirements(&[("gin", 0.0, 1.0e-5), ("cin", 4.0e-12, 6.0e-12)]);
         assert_eq!(hits.len(), 2, "cin comes from the card default");
     }
 

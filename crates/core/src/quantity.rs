@@ -11,7 +11,6 @@
 //! (kg·m²·s⁻²) and angular velocity (s⁻¹) are first-class, as §3.1a's
 //! "torque, angular velocity probes and generators" require.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Div, Mul};
 
@@ -27,7 +26,7 @@ use std::ops::{Div, Mul};
 /// let current = Dimension::VOLTAGE * Dimension::CONDUCTANCE;
 /// assert_eq!(current, Dimension::CURRENT);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Dimension {
     /// Metre exponent.
     pub m: i8,
@@ -174,7 +173,7 @@ impl fmt::Display for Dimension {
 }
 
 /// A value paired with its dimension — used by definition-card parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quantity {
     /// Numeric value in SI units.
     pub value: f64,
@@ -240,9 +239,18 @@ mod tests {
 
     #[test]
     fn ohms_law_dimensions() {
-        assert_eq!(Dimension::VOLTAGE / Dimension::RESISTANCE, Dimension::CURRENT);
-        assert_eq!(Dimension::CURRENT * Dimension::RESISTANCE, Dimension::VOLTAGE);
-        assert_eq!(Dimension::VOLTAGE * Dimension::CONDUCTANCE, Dimension::CURRENT);
+        assert_eq!(
+            Dimension::VOLTAGE / Dimension::RESISTANCE,
+            Dimension::CURRENT
+        );
+        assert_eq!(
+            Dimension::CURRENT * Dimension::RESISTANCE,
+            Dimension::VOLTAGE
+        );
+        assert_eq!(
+            Dimension::VOLTAGE * Dimension::CONDUCTANCE,
+            Dimension::CURRENT
+        );
     }
 
     #[test]

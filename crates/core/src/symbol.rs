@@ -15,13 +15,12 @@
 //! * **function generation elements** (§3.1d): sin, cos, exp, ….
 
 use crate::quantity::Dimension;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Direction of a symbol port (§3.2: "Some ports consume signals … while
 /// some other deliver signals").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortDirection {
     /// Consumes a signal.
     Input,
@@ -32,7 +31,7 @@ pub enum PortDirection {
 }
 
 /// A port template of a symbol kind.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PortSpec {
     /// Port name, unique within the symbol.
     pub name: String,
@@ -55,7 +54,7 @@ impl PortSpec {
 /// Simulator-internal variables exposed to models (§3.1a: "Simulation
 /// variable symbols make the simulator's internal quantities like time or
 /// temperature available to the model").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimVar {
     /// Simulated time (s).
     Time,
@@ -86,7 +85,7 @@ impl SimVar {
 }
 
 /// Function-generation elements (§3.1d).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FuncKind {
     /// Sine.
     Sin,
@@ -141,7 +140,7 @@ impl FuncKind {
 
 /// Value of a symbol property: either a literal or a reference to one of the
 /// model's parameters (the definition card supplies defaults).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PropertyValue {
     /// Literal number.
     Number(f64),
@@ -183,7 +182,7 @@ pub fn format_number(v: f64) -> String {
 }
 
 /// The kind of a Graphical Building Symbol; determines its ports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SymbolKind {
     /// A bi-directional model pin (electrical pin, motor axle…). Probes and
     /// generators attach to its single internal port.
@@ -367,7 +366,7 @@ impl SymbolKind {
 }
 
 /// A placed symbol instance inside a functional diagram.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Symbol {
     /// Instance id (1-based, assigned by the diagram).
     pub id: usize,
@@ -439,7 +438,9 @@ mod tests {
     fn function_arity() {
         assert_eq!(FuncKind::Sin.arity(), 1);
         assert_eq!(FuncKind::Pow.arity(), 2);
-        let f = SymbolKind::Function { func: FuncKind::Max };
+        let f = SymbolKind::Function {
+            func: FuncKind::Max,
+        };
         assert_eq!(f.ports().len(), 3);
         assert_eq!(FuncKind::Tanh.code_name(), "tanh");
     }

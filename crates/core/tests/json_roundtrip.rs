@@ -1,20 +1,22 @@
 //! Serialization round-trips: model libraries (card + diagram + parameter
 //! sets) must survive persistence — the paper's design libraries "are
 //! integrated in some surrounding development environment", which implies
-//! storing and reloading them.
+//! storing and reloading them. Serialization uses the crate's own JSON
+//! module (`gabm_core::json`) so the workspace builds with no network.
 
 use gabm_core::card::DefinitionCard;
 use gabm_core::check::check_diagram;
 use gabm_core::constructs::{InputStageSpec, OutputStageSpec, SlewRateSpec};
 use gabm_core::diagram::FunctionalDiagram;
+use gabm_core::json;
 use gabm_core::library::{ModelEntry, ModelLibrary, ParameterSet};
 use std::collections::BTreeMap;
 
 #[test]
 fn diagram_roundtrip_preserves_connectivity() {
     let d = InputStageSpec::new("in", 1e-6, 5e-12).diagram().unwrap();
-    let json = serde_json::to_string(&d).unwrap();
-    let d2: FunctionalDiagram = serde_json::from_str(&json).unwrap();
+    let text = json::to_string(&d);
+    let d2: FunctionalDiagram = json::from_str(&text).unwrap();
     assert_eq!(d, d2);
     // The derived port→net index must be rebuilt: net lookups still work.
     let probe_out = d2.port(gabm_core::diagram::SymbolId(2), "out").unwrap();
@@ -33,8 +35,8 @@ fn roundtripped_diagram_generates_identical_code() {
             .unwrap(),
         SlewRateSpec::new(1e6, 2e6).diagram().unwrap(),
     ] {
-        let json = serde_json::to_string(&diagram).unwrap();
-        let restored: FunctionalDiagram = serde_json::from_str(&json).unwrap();
+        let text = json::to_string(&diagram);
+        let restored: FunctionalDiagram = json::from_str(&text).unwrap();
         let a = gabm_codegen::generate(&diagram, gabm_codegen::Backend::Fas);
         let b = gabm_codegen::generate(&restored, gabm_codegen::Backend::Fas);
         match (a, b) {
@@ -49,10 +51,25 @@ fn roundtripped_diagram_generates_identical_code() {
 fn card_roundtrip() {
     let spec = InputStageSpec::new("in", 1e-6, 5e-12);
     let card = spec.card().unwrap();
-    let json = serde_json::to_string_pretty(&card).unwrap();
-    let card2: DefinitionCard = serde_json::from_str(&json).unwrap();
+    let text = json::to_string_pretty(&card);
+    let card2: DefinitionCard = json::from_str(&text).unwrap();
     assert_eq!(card, card2);
     assert!(card2.matches_diagram(&spec.diagram().unwrap()).is_ok());
+}
+
+#[test]
+fn hierarchical_symbol_roundtrips() {
+    // A diagram embedded as a hierarchical GBS survives nesting.
+    use gabm_core::symbol::SymbolKind;
+    let inner = SlewRateSpec::new(1e6, 2e6).diagram().unwrap();
+    let mut outer = FunctionalDiagram::new("wrapper");
+    outer.add_symbol(SymbolKind::Hierarchical {
+        name: "slew".into(),
+        diagram: Box::new(inner),
+    });
+    let text = json::to_string(&outer);
+    let back: FunctionalDiagram = json::from_str(&text).unwrap();
+    assert_eq!(outer, back);
 }
 
 #[test]
@@ -71,8 +88,8 @@ fn library_roundtrip_with_parameter_sets() {
     let mut lib = ModelLibrary::new();
     lib.add(entry).unwrap();
 
-    let json = serde_json::to_string(&lib).unwrap();
-    let lib2: ModelLibrary = serde_json::from_str(&json).unwrap();
+    let text = json::to_string(&lib);
+    let lib2: ModelLibrary = json::from_str(&text).unwrap();
     assert_eq!(lib, lib2);
     let resolved = lib2
         .find("input_stage_in")

@@ -1,5 +1,7 @@
 //! Abstract syntax tree of a FAS model.
 
+use crate::Pos;
+
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {
@@ -119,7 +121,12 @@ pub enum Cond {
 }
 
 /// A statement of the analog body.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every variant carries the source position of its first token so that
+/// diagnostics (`gabm-lint`) can point back into the listing. Positions are
+/// deliberately excluded from equality: a printed-and-reparsed model
+/// compares equal to the original even though the layout moved.
+#[derive(Debug, Clone)]
 pub enum Stmt {
     /// `make var = expr`.
     Make {
@@ -127,6 +134,8 @@ pub enum Stmt {
         var: String,
         /// Value expression.
         expr: Expr,
+        /// Source position of the statement.
+        pos: Pos,
     },
     /// `make curr.on(pin) = expr` — impose a through quantity.
     Impose {
@@ -136,6 +145,8 @@ pub enum Stmt {
         pin: String,
         /// Imposed expression.
         expr: Expr,
+        /// Source position of the statement.
+        pos: Pos,
     },
     /// `if (cond) then … [else …] endif`.
     If {
@@ -145,7 +156,64 @@ pub enum Stmt {
         then_branch: Vec<Stmt>,
         /// Taken otherwise.
         else_branch: Vec<Stmt>,
+        /// Source position of the statement.
+        pos: Pos,
     },
+}
+
+impl Stmt {
+    /// Source position of the statement's first token.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Stmt::Make { pos, .. } | Stmt::Impose { pos, .. } | Stmt::If { pos, .. } => *pos,
+        }
+    }
+}
+
+// Positions are presentation metadata, not meaning: two models with the
+// same statements at different places in the file are the same model.
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Stmt::Make { var, expr, pos: _ },
+                Stmt::Make {
+                    var: v2,
+                    expr: e2,
+                    pos: _,
+                },
+            ) => var == v2 && expr == e2,
+            (
+                Stmt::Impose {
+                    quantity,
+                    pin,
+                    expr,
+                    pos: _,
+                },
+                Stmt::Impose {
+                    quantity: q2,
+                    pin: p2,
+                    expr: e2,
+                    pos: _,
+                },
+            ) => quantity == q2 && pin == p2 && expr == e2,
+            (
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    pos: _,
+                },
+                Stmt::If {
+                    cond: c2,
+                    then_branch: t2,
+                    else_branch: e2,
+                    pos: _,
+                },
+            ) => cond == c2 && then_branch == t2 && else_branch == e2,
+            _ => false,
+        }
+    }
 }
 
 /// A parsed model file.

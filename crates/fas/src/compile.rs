@@ -252,14 +252,10 @@ fn collect_vars(stmts: &[Stmt], lw: &mut Lowerer) -> Result<(), FasError> {
     Ok(())
 }
 
-fn check_order(
-    stmts: &[Stmt],
-    lw: &Lowerer,
-    defined: &mut HashSet<usize>,
-) -> Result<(), FasError> {
+fn check_order(stmts: &[Stmt], lw: &Lowerer, defined: &mut HashSet<usize>) -> Result<(), FasError> {
     for stmt in stmts {
         match stmt {
-            Stmt::Make { var, expr } => {
+            Stmt::Make { var, expr, .. } => {
                 check_expr_order(expr, lw, defined)?;
                 defined.insert(lw.vars[var]);
             }
@@ -268,6 +264,7 @@ fn check_order(
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 if let Cond::Cmp(_, a, b) = cond {
                     check_expr_order(a, lw, defined)?;
@@ -288,16 +285,11 @@ fn check_order(
     Ok(())
 }
 
-fn check_expr_order(
-    expr: &Expr,
-    lw: &Lowerer,
-    defined: &HashSet<usize>,
-) -> Result<(), FasError> {
+fn check_expr_order(expr: &Expr, lw: &Lowerer, defined: &HashSet<usize>) -> Result<(), FasError> {
     match expr {
         Expr::Num(_) | Expr::PinValue { .. } => Ok(()),
         Expr::Var(name) => {
-            if lw.params.contains_key(name)
-                || ["time", "temp", "timestep"].contains(&name.as_str())
+            if lw.params.contains_key(name) || ["time", "temp", "timestep"].contains(&name.as_str())
             {
                 return Ok(());
             }
@@ -345,11 +337,12 @@ fn lower_stmts(stmts: &[Stmt], lw: &Lowerer) -> Result<Vec<CStmt>, FasError> {
 
 fn lower_stmt(stmt: &Stmt, lw: &Lowerer) -> Result<CStmt, FasError> {
     match stmt {
-        Stmt::Make { var, expr } => Ok(CStmt::Set(lw.vars[var], lower_expr(expr, lw)?)),
+        Stmt::Make { var, expr, .. } => Ok(CStmt::Set(lw.vars[var], lower_expr(expr, lw)?)),
         Stmt::Impose {
             quantity,
             pin,
             expr,
+            ..
         } => {
             if !THROUGH_PREFIXES.contains(&quantity.as_str()) {
                 return Err(FasError::Semantic(format!(
@@ -366,12 +359,11 @@ fn lower_stmt(stmt: &Stmt, lw: &Lowerer) -> Result<CStmt, FasError> {
             cond,
             then_branch,
             else_branch,
+            ..
         } => {
             let ccond = match cond {
                 Cond::ModeIs { dc } => CCond::ModeIs(*dc),
-                Cond::Cmp(op, a, b) => {
-                    CCond::Cmp(*op, lower_expr(a, lw)?, lower_expr(b, lw)?)
-                }
+                Cond::Cmp(op, a, b) => CCond::Cmp(*op, lower_expr(a, lw)?, lower_expr(b, lw)?),
             };
             Ok(CStmt::If(
                 ccond,
@@ -541,10 +533,7 @@ mod tests {
         ))
         .is_ok());
         // Defined only in one branch ⇒ not definitely assigned.
-        assert!(compile(&wrap(
-            "if (mode=dc) then\nmake x = 0\nendif\nmake y = x"
-        ))
-        .is_err());
+        assert!(compile(&wrap("if (mode=dc) then\nmake x = 0\nendif\nmake y = x")).is_err());
     }
 
     #[test]

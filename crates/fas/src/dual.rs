@@ -79,6 +79,7 @@ impl Dual {
     #[inline]
     pub(crate) fn mul(self, rhs: Dual) -> Dual {
         let mut d = [0.0; MAX_TANGENTS];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..MAX_TANGENTS {
             d[i] = self.d[i] * rhs.v + self.v * rhs.d[i];
         }
@@ -93,6 +94,7 @@ impl Dual {
         let inv = 1.0 / rhs.v;
         let v = self.v * inv;
         let mut d = [0.0; MAX_TANGENTS];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..MAX_TANGENTS {
             d[i] = (self.d[i] - v * rhs.d[i]) * inv;
         }

@@ -198,9 +198,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, FasError> {
                 }
                 _ if c.is_ascii_digit() => {
                     let start = i;
-                    while i < bytes.len()
-                        && (bytes[i].is_ascii_digit() || bytes[i] == b'.')
-                    {
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
                         i += 1;
                     }
                     // Exponent part.

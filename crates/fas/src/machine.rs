@@ -310,6 +310,7 @@ impl Pass<'_> {
                         };
                         let db = if av.v > 0.0 { value * av.v.ln() } else { 0.0 };
                         let mut d = [0.0; MAX_TANGENTS];
+                        #[allow(clippy::needless_range_loop)]
                         for i in 0..MAX_TANGENTS {
                             d[i] = da * av.d[i] + db * bv.d[i];
                         }
@@ -337,8 +338,7 @@ impl Pass<'_> {
                     Dual::constant(0.0)
                 } else {
                     let dt = self.dt_effective();
-                    let value =
-                        (av.v - self.machine.committed_dt_args[*inst]) / dt;
+                    let value = (av.v - self.machine.committed_dt_args[*inst]) / dt;
                     let mut out = av.scale_tangent(1.0 / dt);
                     out.v = value;
                     out
@@ -354,8 +354,7 @@ impl Pass<'_> {
                 let target = self.ctx.time - tdv;
                 let hist = &self.machine.history[*inst];
                 Dual::constant(
-                    sample_history(hist, target)
-                        .unwrap_or(self.machine.committed_vars[*var]),
+                    sample_history(hist, target).unwrap_or(self.machine.committed_vars[*var]),
                 )
             }
             CExpr::Idt { inst, arg } => {
@@ -438,8 +437,7 @@ impl Pass<'_> {
                 }
                 let target = self.ctx.time - tdv;
                 let hist = &self.machine.history[*inst];
-                sample_history(hist, target)
-                    .unwrap_or(self.machine.committed_vars[*var])
+                sample_history(hist, target).unwrap_or(self.machine.committed_vars[*var])
             }
             CExpr::Idt { inst, arg } => {
                 let v = self.eval(arg);
@@ -451,9 +449,7 @@ impl Pass<'_> {
                     // Committed integral extended by the current half step
                     // (trapezoidal).
                     self.machine.committed_idt_integral[*inst]
-                        + 0.5
-                            * self.ctx.dt
-                            * (v + self.machine.committed_idt_args[*inst])
+                        + 0.5 * self.ctx.dt * (v + self.machine.committed_idt_args[*inst])
                 }
             }
         }
@@ -602,7 +598,9 @@ fn delayt_var(body: &[CStmt], inst: usize) -> Option<usize> {
                     in_expr(td, inst)
                 }
             }
-            CExpr::Neg(a) | CExpr::Call1(_, a) | CExpr::Dt { arg: a, .. }
+            CExpr::Neg(a)
+            | CExpr::Call1(_, a)
+            | CExpr::Dt { arg: a, .. }
             | CExpr::Idt { arg: a, .. } => in_expr(a, inst),
             CExpr::Bin(_, a, b) | CExpr::Call2(_, a, b) => {
                 in_expr(a, inst).or_else(|| in_expr(b, inst))
@@ -619,9 +617,7 @@ fn delayt_var(body: &[CStmt], inst: usize) -> Option<usize> {
                 CStmt::Set(_, e) | CStmt::Impose(_, e) => in_expr(e, inst),
                 CStmt::If(cond, a, b) => {
                     let c = match cond {
-                        CCond::Cmp(_, x, y) => {
-                            in_expr(x, inst).or_else(|| in_expr(y, inst))
-                        }
+                        CCond::Cmp(_, x, y) => in_expr(x, inst).or_else(|| in_expr(y, inst)),
                         CCond::ModeIs(_) => None,
                     };
                     c.or_else(|| in_stmts(a, inst))

@@ -150,12 +150,14 @@ impl Parser {
             match self.peek() {
                 Token::Ident(kw) if stops.iter().any(|s| kw == s) => return Ok(out),
                 Token::Ident(kw) if kw == "make" => {
+                    let pos = self.pos();
                     self.bump();
-                    out.push(self.make_stmt()?);
+                    out.push(self.make_stmt(pos)?);
                 }
                 Token::Ident(kw) if kw == "if" => {
+                    let pos = self.pos();
                     self.bump();
-                    out.push(self.if_stmt()?);
+                    out.push(self.if_stmt(pos)?);
                 }
                 Token::Eof => return self.err("unexpected end of file inside analog body"),
                 other => return self.err(format!("expected statement, found {other:?}")),
@@ -163,7 +165,7 @@ impl Parser {
         }
     }
 
-    fn make_stmt(&mut self) -> Result<Stmt, FasError> {
+    fn make_stmt(&mut self, pos: Pos) -> Result<Stmt, FasError> {
         let first = self.ident("variable or access prefix")?;
         if *self.peek() == Token::Dot {
             // make curr.on(pin) = expr
@@ -178,15 +180,20 @@ impl Parser {
                 quantity: first,
                 pin,
                 expr,
+                pos,
             })
         } else {
             self.expect(&Token::Eq, "'='")?;
             let expr = self.expr()?;
-            Ok(Stmt::Make { var: first, expr })
+            Ok(Stmt::Make {
+                var: first,
+                expr,
+                pos,
+            })
         }
     }
 
-    fn if_stmt(&mut self) -> Result<Stmt, FasError> {
+    fn if_stmt(&mut self, pos: Pos) -> Result<Stmt, FasError> {
         self.expect(&Token::LParen, "'('")?;
         let cond = self.condition()?;
         self.expect(&Token::RParen, "')'")?;
@@ -203,6 +210,7 @@ impl Parser {
             cond,
             then_branch,
             else_branch,
+            pos,
         })
     }
 
@@ -395,7 +403,7 @@ endmodel
         assert_eq!(m.body.len(), 6);
         assert_eq!(m.n_dt, 1);
         match &m.body[0] {
-            Stmt::Make { var, expr } => {
+            Stmt::Make { var, expr, .. } => {
                 assert_eq!(var, "v2");
                 assert_eq!(
                     *expr,
@@ -412,6 +420,7 @@ endmodel
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 assert_eq!(*cond, Cond::ModeIs { dc: true });
                 assert_eq!(then_branch.len(), 1);
@@ -430,10 +439,8 @@ endmodel
 
     #[test]
     fn precedence() {
-        let m = parse(
-            "model m pin (a)\nanalog\nmake x = 1 + 2 * 3\nendanalog\nendmodel\n",
-        )
-        .unwrap();
+        let m =
+            parse("model m pin (a)\nanalog\nmake x = 1 + 2 * 3\nendanalog\nendmodel\n").unwrap();
         match &m.body[0] {
             Stmt::Make { expr, .. } => match expr {
                 Expr::Binary(BinOp::Add, l, r) => {
@@ -448,10 +455,8 @@ endmodel
 
     #[test]
     fn unary_minus_and_parens() {
-        let m = parse(
-            "model m pin (a)\nanalog\nmake x = -(1 + 2) / -3\nendanalog\nendmodel\n",
-        )
-        .unwrap();
+        let m = parse("model m pin (a)\nanalog\nmake x = -(1 + 2) / -3\nendanalog\nendmodel\n")
+            .unwrap();
         assert_eq!(m.body.len(), 1);
     }
 
@@ -508,21 +513,20 @@ endmodel
     fn parse_errors() {
         assert!(parse("model m\n").is_err());
         assert!(parse("model m pin (a)\nanalog\nmake = 1\nendanalog\nendmodel\n").is_err());
-        assert!(parse("model m pin (a)\nanalog\nmake x = state.zz(y)\nendanalog\nendmodel\n")
-            .is_err());
-        assert!(parse("model m pin (a)\nanalog\nmake x = 1\nendanalog\nendmodel\nextra")
-            .is_err());
         assert!(
-            parse("model m pin (a)\nanalog\nif (mode=ac) then\nmake x=1\nendif\nendanalog\nendmodel\n")
-                .is_err()
+            parse("model m pin (a)\nanalog\nmake x = state.zz(y)\nendanalog\nendmodel\n").is_err()
         );
+        assert!(parse("model m pin (a)\nanalog\nmake x = 1\nendanalog\nendmodel\nextra").is_err());
+        assert!(parse(
+            "model m pin (a)\nanalog\nif (mode=ac) then\nmake x=1\nendif\nendanalog\nendmodel\n"
+        )
+        .is_err());
         assert!(parse("model m pin (a)\nanalog\nmake x = 1\n").is_err());
     }
 
     #[test]
     fn multiple_pins_and_no_params() {
-        let m = parse("model m pin (a, b, c)\nanalog\nmake x = 1\nendanalog\nendmodel\n")
-            .unwrap();
+        let m = parse("model m pin (a, b, c)\nanalog\nmake x = 1\nendanalog\nendmodel\n").unwrap();
         assert_eq!(m.pins.len(), 3);
         assert!(m.params.is_empty());
     }

@@ -62,8 +62,7 @@ fn print_expr(e: &Expr, out: &mut String) {
             out.push_str(op_txt);
             // Right side: strictness for non-associative - and /.
             let right_parens = precedence(b) < my_prec
-                || (precedence(b) == my_prec
-                    && matches!(op, BinOp::Sub | BinOp::Div));
+                || (precedence(b) == my_prec && matches!(op, BinOp::Sub | BinOp::Div));
             if right_parens {
                 out.push('(');
             }
@@ -128,7 +127,7 @@ fn print_cond(c: &Cond, out: &mut String) {
 fn print_stmts(stmts: &[Stmt], out: &mut String) {
     for stmt in stmts {
         match stmt {
-            Stmt::Make { var, expr } => {
+            Stmt::Make { var, expr, .. } => {
                 let _ = write!(out, "make {var} = ");
                 print_expr(expr, out);
                 out.push('\n');
@@ -137,6 +136,7 @@ fn print_stmts(stmts: &[Stmt], out: &mut String) {
                 quantity,
                 pin,
                 expr,
+                ..
             } => {
                 let _ = write!(out, "make {quantity}.on({pin}) = ");
                 print_expr(expr, out);
@@ -146,6 +146,7 @@ fn print_stmts(stmts: &[Stmt], out: &mut String) {
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 out.push_str("if (");
                 print_cond(cond, out);

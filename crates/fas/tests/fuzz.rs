@@ -1,87 +1,99 @@
 //! Robustness: the FAS front end must never panic — any input produces
-//! either a model or a diagnostic.
+//! either a model or a diagnostic. Randomized but fully deterministic
+//! (seeded local PRNG; no external fuzzing dependency).
 
 use gabm_fas::{compile, parse, print_model};
-use proptest::prelude::*;
+use gabm_numeric::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Arbitrary text never panics the lexer/parser.
-    #[test]
-    fn parser_total_on_arbitrary_text(src in ".{0,200}") {
+/// Arbitrary text never panics the lexer/parser.
+#[test]
+fn parser_total_on_arbitrary_text() {
+    // A char pool mixing FAS punctuation, controls and non-ASCII.
+    let pool: Vec<char> = "abcXYZ019 .,()=+-*/<>#\t\n\"'\\{}[]~@éπ✓\u{0}\u{7f}"
+        .chars()
+        .collect();
+    let mut rng = Rng::new(0xF45_0001);
+    for _ in 0..256 {
+        let len = rng.below(201);
+        let src: String = (0..len).map(|_| pool[rng.below(pool.len())]).collect();
         let _ = parse(&src);
     }
+}
 
-    /// Arbitrary ASCII with FAS-flavoured vocabulary never panics anywhere
-    /// in the pipeline.
-    #[test]
-    fn pipeline_total_on_fas_flavoured_text(
-        words in proptest::collection::vec(
-            prop_oneof![
-                Just("model".to_string()),
-                Just("pin".to_string()),
-                Just("param".to_string()),
-                Just("analog".to_string()),
-                Just("endanalog".to_string()),
-                Just("endmodel".to_string()),
-                Just("make".to_string()),
-                Just("if".to_string()),
-                Just("then".to_string()),
-                Just("else".to_string()),
-                Just("endif".to_string()),
-                Just("state".to_string()),
-                Just("volt".to_string()),
-                Just("curr".to_string()),
-                Just("mode".to_string()),
-                Just("dc".to_string()),
-                Just("=".to_string()),
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just(".".to_string()),
-                Just("+".to_string()),
-                Just("x".to_string()),
-                Just("1.5".to_string()),
-                Just("\n".to_string()),
-            ],
-            0..60,
-        )
-    ) {
+/// Arbitrary ASCII with FAS-flavoured vocabulary never panics anywhere in
+/// the pipeline.
+#[test]
+fn pipeline_total_on_fas_flavoured_text() {
+    let vocab = [
+        "model",
+        "pin",
+        "param",
+        "analog",
+        "endanalog",
+        "endmodel",
+        "make",
+        "if",
+        "then",
+        "else",
+        "endif",
+        "state",
+        "volt",
+        "curr",
+        "mode",
+        "dc",
+        "=",
+        "(",
+        ")",
+        ".",
+        "+",
+        "x",
+        "1.5",
+        "\n",
+    ];
+    let mut rng = Rng::new(0xF45_0002);
+    for _ in 0..256 {
+        let n = rng.below(60);
+        let words: Vec<&str> = (0..n).map(|_| vocab[rng.below(vocab.len())]).collect();
         let src = words.join(" ");
         let _ = compile(&src);
     }
+}
 
-    /// Well-formed random straight-line models: parse → print → parse is an
-    /// identity, and compile is total.
-    #[test]
-    fn roundtrip_generated_straight_line_models(
-        exprs in proptest::collection::vec(
-            prop_oneof![
-                Just("volt.value(a)".to_string()),
-                Just("g * v0".to_string()),
-                Just("v0 + 1.0".to_string()),
-                Just("limit(v0, -1.0, 1.0)".to_string()),
-                Just("sin(time)".to_string()),
-                Just("state.dt(v0)".to_string()),
-                Just("state.delay(v0)".to_string()),
-                Just("max(v0, 0.0)".to_string()),
-                Just("-v0 / 2.0".to_string()),
-            ],
-            1..8,
-        )
-    ) {
+/// Well-formed random straight-line models: parse → print → parse is an
+/// identity, and compile is total.
+#[test]
+fn roundtrip_generated_straight_line_models() {
+    let exprs = [
+        "volt.value(a)",
+        "g * v0",
+        "v0 + 1.0",
+        "limit(v0, -1.0, 1.0)",
+        "sin(time)",
+        "state.dt(v0)",
+        "state.delay(v0)",
+        "max(v0, 0.0)",
+        "-v0 / 2.0",
+    ];
+    let mut rng = Rng::new(0xF45_0003);
+    for _ in 0..128 {
+        let n = 1 + rng.below(7);
         let mut body = String::from("make v0 = volt.value(a)\n");
-        for (k, e) in exprs.iter().enumerate() {
-            body.push_str(&format!("make v{} = {e}\n", k + 1));
+        for k in 0..n {
+            body.push_str(&format!(
+                "make v{} = {}\n",
+                k + 1,
+                exprs[rng.below(exprs.len())]
+            ));
         }
         body.push_str("make curr.on(a) = v0\n");
-        let src = format!(
-            "model fuzz pin (a) param (g=1e-3)\nanalog\n{body}endanalog\nendmodel\n"
-        );
+        let src = format!("model fuzz pin (a) param (g=1e-3)\nanalog\n{body}endanalog\nendmodel\n");
         let m1 = parse(&src).expect("generated model parses");
         let printed = print_model(&m1);
         let m2 = parse(&printed).expect("printed model parses");
-        prop_assert_eq!(&m1, &m2);
-        prop_assert!(compile(&src).is_ok(), "{}", src);
+        assert_eq!(
+            m1, m2,
+            "print/parse roundtrip changed the model:\n{printed}"
+        );
+        assert!(compile(&src).is_ok(), "{src}");
     }
 }

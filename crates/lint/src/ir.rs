@@ -1,0 +1,374 @@
+//! Dataflow lints over the lowered, backend-independent [`CodeIr`].
+//!
+//! These run after the diagram-level passes (which live in
+//! `gabm_core::check`): the IR is the ordered statement list every backend
+//! renders (§4.1), so anything suspicious here — a variable read before any
+//! statement defines it, an assignment nothing consumes, an arithmetic
+//! error visible at constant-folding time — will be suspicious in every
+//! generated language.
+
+use gabm_codegen::{CodeIr, IrRhs, IrStatement};
+use gabm_core::diag::{Code, Diagnostic, Location};
+use gabm_core::symbol::FuncKind;
+use std::collections::HashSet;
+
+/// One IR-level analysis pass.
+pub type IrPass = fn(&CodeIr, &mut Vec<Diagnostic>);
+
+/// All IR-level passes in execution order, with stable names.
+pub const IR_PASSES: &[(&str, IrPass)] = &[
+    ("ir-use-before-def", check_use_before_def),
+    ("ir-dead-assignments", check_dead_assignments),
+    ("ir-const-fold", check_const_fold),
+];
+
+/// Runs every IR pass on `ir` and returns the findings.
+pub fn lint_ir(ir: &CodeIr) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (_, pass) in IR_PASSES {
+        pass(ir, &mut diags);
+    }
+    diags
+}
+
+/// Simulator-provided names that are defined without any statement.
+const BUILTINS: &[&str] = &["time", "timestep", "temp"];
+
+/// Extracts identifier tokens from a lowered expression string. The
+/// lowered expressions are flat (single variables, parameter references
+/// like `-rate`, or numeric literals), so a lexical split is exact.
+fn idents(expr: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = expr;
+    while let Some(start) = rest.find(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+        let tail = &rest[start..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(tail.len());
+        let token = &tail[..end];
+        if token
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
+            out.push(token);
+        }
+        rest = &tail[end..];
+    }
+    out
+}
+
+/// Numeric value of a lowered expression, when it is a literal.
+fn literal(expr: &str) -> Option<f64> {
+    expr.trim().parse::<f64>().ok()
+}
+
+/// Expressions a statement reads, split into ordering-relevant references
+/// and references that may legally point forward (delay inputs read
+/// committed state from the previous time point only).
+fn stmt_refs(stmt: &IrStatement) -> (Vec<&str>, Vec<&str>) {
+    let mut ordered: Vec<&str> = Vec::new();
+    let mut late: Vec<&str> = Vec::new();
+    match stmt {
+        IrStatement::Probe { .. } => {}
+        IrStatement::Impose { expr, .. } => ordered.push(expr),
+        IrStatement::ImposeAcross { target, .. } => ordered.push(target),
+        IrStatement::Derivative { input, .. } | IrStatement::Integral { input, .. } => {
+            ordered.push(input)
+        }
+        IrStatement::UnitDelay { input, .. } => late.push(input),
+        IrStatement::FixedDelay { input, td, .. } => {
+            late.push(input);
+            ordered.push(td);
+        }
+        IrStatement::FirstOrderLag { input, k, tau, .. } => {
+            ordered.push(input);
+            ordered.push(k);
+            ordered.push(tau);
+        }
+        IrStatement::Assign { rhs, .. } => match rhs {
+            IrRhs::Gain { a, input } => {
+                ordered.push(a);
+                ordered.push(input);
+            }
+            IrRhs::Sum { terms } => ordered.extend(terms.iter().map(|(_, t)| t.as_str())),
+            IrRhs::Prod { factors } => ordered.extend(factors.iter().map(|(_, f)| f.as_str())),
+            IrRhs::Limit { input, lo, hi } => {
+                ordered.push(input);
+                ordered.push(lo);
+                ordered.push(hi);
+            }
+            IrRhs::PosPart { input } | IrRhs::NegPart { input } | IrRhs::Copy { input } => {
+                ordered.push(input)
+            }
+            IrRhs::Func { args, .. } => ordered.extend(args.iter().map(String::as_str)),
+        },
+    }
+    (ordered, late)
+}
+
+/// GABM020 — a statement reads a variable no earlier statement defined.
+/// The topological ordering (§4.1) guarantees this never happens for IR
+/// lowered from a consistent diagram, so a hit means hand-built or
+/// corrupted IR.
+fn check_use_before_def(ir: &CodeIr, diags: &mut Vec<Diagnostic>) {
+    let mut defined: HashSet<&str> = BUILTINS.iter().copied().collect();
+    for p in &ir.params {
+        defined.insert(&p.name);
+    }
+    let all_targets: HashSet<&str> = ir
+        .statements
+        .iter()
+        .filter_map(IrStatement::target_var)
+        .collect();
+    for (i, stmt) in ir.statements.iter().enumerate() {
+        let (ordered, _) = stmt_refs(stmt);
+        for expr in ordered {
+            for name in idents(expr) {
+                if !defined.contains(name) {
+                    let why = if all_targets.contains(name) {
+                        format!("variable '{name}' is read before its definition")
+                    } else {
+                        format!("variable '{name}' is never defined")
+                    };
+                    diags.push(Diagnostic::new(
+                        Code::IrUseBeforeDef,
+                        why,
+                        Location::Statement(i),
+                    ));
+                }
+            }
+        }
+        if let Some(var) = stmt.target_var() {
+            defined.insert(var);
+        }
+    }
+}
+
+/// GABM021 — an assignment whose target no other statement reads (delay
+/// inputs count as reads) contributes nothing to any imposed quantity.
+fn check_dead_assignments(ir: &CodeIr, diags: &mut Vec<Diagnostic>) {
+    let mut used: HashSet<&str> = HashSet::new();
+    for stmt in &ir.statements {
+        let (ordered, late) = stmt_refs(stmt);
+        for expr in ordered.into_iter().chain(late) {
+            used.extend(idents(expr));
+        }
+    }
+    for (i, stmt) in ir.statements.iter().enumerate() {
+        if let Some(var) = stmt.target_var() {
+            if !used.contains(var) {
+                diags.push(Diagnostic::new(
+                    Code::IrDeadAssignment,
+                    format!("variable '{var}' is assigned but never read"),
+                    Location::Statement(i),
+                ));
+            }
+        }
+    }
+}
+
+/// GABM022 — constant folding over lowered expressions: division by a
+/// constant zero, intrinsic domain errors, and empty limit intervals that
+/// are visible without running the model.
+fn check_const_fold(ir: &CodeIr, diags: &mut Vec<Diagnostic>) {
+    for (i, stmt) in ir.statements.iter().enumerate() {
+        let IrStatement::Assign { rhs, .. } = stmt else {
+            continue;
+        };
+        match rhs {
+            IrRhs::Prod { factors } => {
+                for (mul, factor) in factors {
+                    if !mul && literal(factor) == Some(0.0) {
+                        diags.push(Diagnostic::new(
+                            Code::IrConstFoldError,
+                            "division by constant zero".to_string(),
+                            Location::Statement(i),
+                        ));
+                    }
+                }
+            }
+            IrRhs::Limit { lo, hi, .. } => {
+                if let (Some(l), Some(h)) = (literal(lo), literal(hi)) {
+                    if l > h {
+                        diags.push(Diagnostic::new(
+                            Code::IrConstFoldError,
+                            format!("limit interval is empty: lo {l} > hi {h}"),
+                            Location::Statement(i),
+                        ));
+                    }
+                }
+            }
+            IrRhs::Func { func, args } => {
+                let vals: Vec<Option<f64>> = args.iter().map(|a| literal(a)).collect();
+                let bad = match func {
+                    FuncKind::Sqrt => vals[0].is_some_and(|v| v < 0.0),
+                    FuncKind::Ln => vals[0].is_some_and(|v| v <= 0.0),
+                    FuncKind::Pow => {
+                        vals[0].is_some_and(|b| b < 0.0)
+                            && vals[1].is_some_and(|e| e.fract() != 0.0)
+                    }
+                    _ => false,
+                };
+                if bad {
+                    diags.push(Diagnostic::new(
+                        Code::IrConstFoldError,
+                        format!(
+                            "constant argument outside the domain of {}",
+                            func.code_name()
+                        ),
+                        Location::Statement(i),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gabm_codegen::IrParam;
+
+    fn assign(id: usize, var: &str, rhs: IrRhs) -> IrStatement {
+        IrStatement::Assign {
+            id,
+            var: var.to_string(),
+            rhs,
+        }
+    }
+
+    fn ir(statements: Vec<IrStatement>) -> CodeIr {
+        CodeIr {
+            model_name: "t".into(),
+            pins: vec!["a".into()],
+            params: vec![IrParam {
+                name: "g".into(),
+                default: 1.0,
+                from_open_input: false,
+            }],
+            statements,
+        }
+    }
+
+    #[test]
+    fn idents_splits_lowered_expressions() {
+        assert_eq!(idents("-rate"), vec!["rate"]);
+        assert_eq!(idents("1e-6"), Vec::<&str>::new());
+        assert_eq!(idents("yout7"), vec!["yout7"]);
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let m = ir(vec![
+            assign(1, "x", IrRhs::Copy { input: "y".into() }),
+            assign(2, "y", IrRhs::Copy { input: "g".into() }),
+            IrStatement::Impose {
+                id: 3,
+                pin: "a".into(),
+                quantity: gabm_codegen::PinQuantity::Curr,
+                expr: "x".into(),
+            },
+        ]);
+        let diags = lint_ir(&m);
+        let ubd: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::IrUseBeforeDef)
+            .collect();
+        assert_eq!(ubd.len(), 1);
+        assert!(ubd[0].message.contains("'y'"));
+        assert_eq!(ubd[0].location, Location::Statement(0));
+    }
+
+    #[test]
+    fn delay_input_may_point_forward() {
+        let m = ir(vec![
+            IrStatement::UnitDelay {
+                id: 1,
+                var: "ylast1".into(),
+                input: "x".into(),
+            },
+            assign(
+                2,
+                "x",
+                IrRhs::Copy {
+                    input: "ylast1".into(),
+                },
+            ),
+            IrStatement::Impose {
+                id: 3,
+                pin: "a".into(),
+                quantity: gabm_codegen::PinQuantity::Curr,
+                expr: "x".into(),
+            },
+        ]);
+        let diags = lint_ir(&m);
+        assert!(
+            !diags.iter().any(|d| d.code == Code::IrUseBeforeDef),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_assignment_detected() {
+        let m = ir(vec![
+            assign(1, "x", IrRhs::Copy { input: "g".into() }),
+            assign(2, "orphan", IrRhs::Copy { input: "g".into() }),
+            IrStatement::Impose {
+                id: 3,
+                pin: "a".into(),
+                quantity: gabm_codegen::PinQuantity::Curr,
+                expr: "x".into(),
+            },
+        ]);
+        let diags = lint_ir(&m);
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::IrDeadAssignment)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].message.contains("'orphan'"));
+    }
+
+    #[test]
+    fn const_fold_reports_div_by_zero_and_domains() {
+        let m = ir(vec![
+            assign(
+                1,
+                "x",
+                IrRhs::Prod {
+                    factors: vec![(true, "g".into()), (false, "0".into())],
+                },
+            ),
+            assign(
+                2,
+                "y",
+                IrRhs::Func {
+                    func: FuncKind::Sqrt,
+                    args: vec!["-4".into()],
+                },
+            ),
+            IrStatement::Impose {
+                id: 3,
+                pin: "a".into(),
+                quantity: gabm_codegen::PinQuantity::Curr,
+                expr: "x".into(),
+            },
+            IrStatement::Impose {
+                id: 4,
+                pin: "a".into(),
+                quantity: gabm_codegen::PinQuantity::Curr,
+                expr: "y".into(),
+            },
+        ]);
+        let diags = lint_ir(&m);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == Code::IrConstFoldError)
+                .count(),
+            2
+        );
+    }
+}

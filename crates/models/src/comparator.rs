@@ -240,7 +240,10 @@ impl ComparatorSpec {
             .with_param_prefix("outn_")
             .diagram()?;
         let o_outn = d.merge(outn_sub.clone());
-        d.connect(d.port(mirror, "out")?, merged_port(&outn_sub, "vin", o_outn)?)?;
+        d.connect(
+            d.port(mirror, "out")?,
+            merged_port(&outn_sub, "vin", o_outn)?,
+        )?;
 
         // Power supply (Fig. 4): the balance sheet covers *all* stage
         // currents — both output stages and the three input stages.
@@ -330,9 +333,24 @@ impl ComparatorSpec {
                 );
         }
         b = b
-            .parameter("srise", self.slew_rise, Dimension::VOLTAGE_RATE, "max rise rate")
-            .parameter("sfall", self.slew_fall, Dimension::VOLTAGE_RATE, "max fall rate")
-            .parameter("gpol", self.gpol, Dimension::CONDUCTANCE, "polarization conductance")
+            .parameter(
+                "srise",
+                self.slew_rise,
+                Dimension::VOLTAGE_RATE,
+                "max rise rate",
+            )
+            .parameter(
+                "sfall",
+                self.slew_fall,
+                Dimension::VOLTAGE_RATE,
+                "max fall rate",
+            )
+            .parameter(
+                "gpol",
+                self.gpol,
+                Dimension::CONDUCTANCE,
+                "polarization conductance",
+            )
             .parameter("iloss", self.iloss, Dimension::CURRENT, "loss current");
         if let OffState::Level(level) = self.off_state {
             b = b.parameter("voff", level, Dimension::VOLTAGE, "un-strobed output level");
@@ -444,8 +462,10 @@ mod tests {
             Circuit::GROUND,
             SourceWave::pulse(-1.0, 1.0, 5e-6, 1e-7, 1e-7, 40e-6, 0.0),
         );
-        ckt.add_resistor("RLP", outp, Circuit::GROUND, 10e3).unwrap();
-        ckt.add_resistor("RLN", outn, Circuit::GROUND, 10e3).unwrap();
+        ckt.add_resistor("RLP", outp, Circuit::GROUND, 10e3)
+            .unwrap();
+        ckt.add_resistor("RLN", outn, Circuit::GROUND, 10e3)
+            .unwrap();
         let result = ckt.tran(&TranSpec::new(20e-6)).unwrap();
         let wp = result.voltage_waveform(outp).unwrap();
         let wn = result.voltage_waveform(outn).unwrap();
@@ -468,18 +488,22 @@ mod tests {
             .iter()
             .map(|p| ckt.node(p))
             .collect();
-        ckt.add_behavioral("XCMP", &nodes, Box::new(machine)).unwrap();
+        ckt.add_behavioral("XCMP", &nodes, Box::new(machine))
+            .unwrap();
         // Bias every pin with a source so currents are observable.
         let levels = [0.2, -0.2, 1.0, 0.0, 0.0, 2.5, -2.5];
         for (k, (pin, v)) in ComparatorSpec::pin_order().iter().zip(levels).enumerate() {
-            ckt.add_vsource(&format!("V{k}_{pin}"), nodes[k], Circuit::GROUND, SourceWave::dc(v));
+            ckt.add_vsource(
+                &format!("V{k}_{pin}"),
+                nodes[k],
+                Circuit::GROUND,
+                SourceWave::dc(v),
+            );
         }
         let op = ckt.op().unwrap();
         let mut total = 0.0;
         for (k, pin) in ComparatorSpec::pin_order().iter().enumerate() {
-            let i = op
-                .current_through(&ckt, &format!("V{k}_{pin}"))
-                .unwrap();
+            let i = op.current_through(&ckt, &format!("V{k}_{pin}")).unwrap();
             total += i;
         }
         // Σ of source currents = −Σ of currents into the model = 0.

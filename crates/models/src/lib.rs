@@ -24,8 +24,8 @@ pub mod thermal;
 pub use cmos::CmosComparator;
 pub use comparator::ComparatorSpec;
 pub use motor::DcMotorSpec;
-pub use thermal::NtcThermistorSpec;
 pub use opamp::OpampSpec;
+pub use thermal::NtcThermistorSpec;
 
 use std::fmt;
 

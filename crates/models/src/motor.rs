@@ -58,7 +58,11 @@ impl DcMotorSpec {
         let mut d = FunctionalDiagram::new("dc_motor");
         d.add_parameter("rm", self.resistance, Dimension::RESISTANCE);
         // ke: volts per (rad/s) = V·s.
-        d.add_parameter("ke", self.ke, Dimension::VOLTAGE / Dimension::ANGULAR_VELOCITY);
+        d.add_parameter(
+            "ke",
+            self.ke,
+            Dimension::VOLTAGE / Dimension::ANGULAR_VELOCITY,
+        );
         // kt: torque per ampere.
         d.add_parameter("kt", self.kt, Dimension::TORQUE / Dimension::CURRENT);
 
@@ -157,7 +161,12 @@ impl DcMotorSpec {
             .pin("ta", PinDomain::Electrical, "armature terminal +")
             .pin("tb", PinDomain::Electrical, "armature terminal -")
             .pin("axle", PinDomain::RotationalMechanical, "output shaft")
-            .parameter("rm", self.resistance, Dimension::RESISTANCE, "armature resistance")
+            .parameter(
+                "rm",
+                self.resistance,
+                Dimension::RESISTANCE,
+                "armature resistance",
+            )
             .parameter(
                 "ke",
                 self.ke,
@@ -175,11 +184,7 @@ impl DcMotorSpec {
                 CharacteristicClass::Primary,
                 "tau = kt * i",
             )
-            .characteristic(
-                "back-EMF",
-                CharacteristicClass::Primary,
-                "e = ke * omega",
-            )
+            .characteristic("back-EMF", CharacteristicClass::Primary, "e = ke * omega")
             .build()?)
     }
 

@@ -126,18 +126,52 @@ impl OpampSpec {
             .pin("out", PinDomain::Electrical, "output")
             .parameter("vhigh", self.v_high, Dimension::VOLTAGE, "high rail")
             .parameter("vlow", self.v_low, Dimension::VOLTAGE, "low rail")
-            .parameter("inp_gin", 1.0 / self.rin, Dimension::CONDUCTANCE, "inp conductance")
-            .parameter("inp_cin", self.cin, Dimension::CAPACITANCE, "inp capacitance")
-            .parameter("inn_gin", 1.0 / self.rin, Dimension::CONDUCTANCE, "inn conductance")
-            .parameter("inn_cin", self.cin, Dimension::CAPACITANCE, "inn capacitance")
-            .parameter("out_gout", self.gout, Dimension::CONDUCTANCE, "output conductance")
-            .parameter("out_ilim", self.ilim, Dimension::CURRENT, "output current limit")
+            .parameter(
+                "inp_gin",
+                1.0 / self.rin,
+                Dimension::CONDUCTANCE,
+                "inp conductance",
+            )
+            .parameter(
+                "inp_cin",
+                self.cin,
+                Dimension::CAPACITANCE,
+                "inp capacitance",
+            )
+            .parameter(
+                "inn_gin",
+                1.0 / self.rin,
+                Dimension::CONDUCTANCE,
+                "inn conductance",
+            )
+            .parameter(
+                "inn_cin",
+                self.cin,
+                Dimension::CAPACITANCE,
+                "inn capacitance",
+            )
+            .parameter(
+                "out_gout",
+                self.gout,
+                Dimension::CONDUCTANCE,
+                "output conductance",
+            )
+            .parameter(
+                "out_ilim",
+                self.ilim,
+                Dimension::CURRENT,
+                "output current limit",
+            )
             .characteristic(
                 "transfer function",
                 CharacteristicClass::Primary,
                 "A0 / (1 + s/wp)",
             )
-            .characteristic("input impedance", CharacteristicClass::Primary, "Rin || Cin")
+            .characteristic(
+                "input impedance",
+                CharacteristicClass::Primary,
+                "Rin || Cin",
+            )
             .characteristic(
                 "output impedance",
                 CharacteristicClass::Primary,

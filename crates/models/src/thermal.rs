@@ -61,7 +61,11 @@ impl NtcThermistorSpec {
         let mut d = FunctionalDiagram::new("ntc_thermistor");
         d.add_parameter("r25", self.r25, Dimension::RESISTANCE);
         d.add_parameter("beta", self.beta, Dimension::TEMPERATURE);
-        d.add_parameter("inv_t25", 1.0 / T25, Dimension::NONE / Dimension::TEMPERATURE);
+        d.add_parameter(
+            "inv_t25",
+            1.0 / T25,
+            Dimension::NONE / Dimension::TEMPERATURE,
+        );
 
         // Electrical port.
         let pa = d.add_symbol(SymbolKind::Pin { name: "a".into() });
@@ -178,7 +182,12 @@ impl NtcThermistorSpec {
             .pin("a", PinDomain::Electrical, "electrical terminal")
             .pin("b", PinDomain::Electrical, "electrical terminal")
             .pin("th", PinDomain::Thermal, "thermal node (case temperature)")
-            .parameter("r25", self.r25, Dimension::RESISTANCE, "resistance at 25 degC")
+            .parameter(
+                "r25",
+                self.r25,
+                Dimension::RESISTANCE,
+                "resistance at 25 degC",
+            )
             .parameter("beta", self.beta, Dimension::TEMPERATURE, "beta constant")
             .parameter(
                 "inv_t25",

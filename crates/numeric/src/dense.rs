@@ -123,6 +123,7 @@ impl<T: Scalar> DenseMatrix<T> {
             });
         }
         let mut y = vec![T::zero(); self.rows];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..self.rows {
             let mut acc = T::zero();
             let base = i * self.cols;
@@ -329,8 +330,8 @@ mod tests {
     #[test]
     fn complex_matrix_works() {
         let j = Complex64::J;
-        let a = DenseMatrix::from_rows(&[&[Complex64::ONE, j][..], &[-j, Complex64::ONE][..]])
-            .unwrap();
+        let a =
+            DenseMatrix::from_rows(&[&[Complex64::ONE, j][..], &[-j, Complex64::ONE][..]]).unwrap();
         let y = a.mul_vec(&[Complex64::ONE, Complex64::ONE]).unwrap();
         assert_eq!(y[0], Complex64::new(1.0, 1.0));
         assert_eq!(y[1], Complex64::new(1.0, -1.0));

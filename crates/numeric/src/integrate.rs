@@ -350,22 +350,9 @@ mod tests {
         // A quadratic x(t) = t² has constant second derivative: BE LTE should
         // be non-zero, and shrink with dt².
         let f = |t: f64| t * t;
-        let lte1 = local_truncation_error(
-            Method::BackwardEuler,
-            0.1,
-            f(0.3),
-            f(0.2),
-            f(0.1),
-            0.1,
-        );
-        let lte2 = local_truncation_error(
-            Method::BackwardEuler,
-            0.05,
-            f(0.20),
-            f(0.15),
-            f(0.10),
-            0.05,
-        );
+        let lte1 = local_truncation_error(Method::BackwardEuler, 0.1, f(0.3), f(0.2), f(0.1), 0.1);
+        let lte2 =
+            local_truncation_error(Method::BackwardEuler, 0.05, f(0.20), f(0.15), f(0.10), 0.05);
         assert!(lte1 > 0.0);
         let ratio = lte1 / lte2;
         assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");

@@ -192,9 +192,6 @@ mod tests {
         let xs = [0.0, 1.0];
         let ys = [0.0, 2.0];
         let grid = [0.0, 0.25, 0.5, 1.0];
-        assert_eq!(
-            resample(&xs, &ys, &grid).unwrap(),
-            vec![0.0, 0.5, 1.0, 2.0]
-        );
+        assert_eq!(resample(&xs, &ys, &grid).unwrap(), vec![0.0, 0.5, 1.0, 2.0]);
     }
 }

@@ -42,6 +42,7 @@ pub mod lu;
 pub mod measure;
 pub mod newton;
 pub mod plot;
+pub mod rng;
 pub mod sparse;
 pub mod splu;
 pub mod waveform;
@@ -49,6 +50,7 @@ pub mod waveform;
 pub use complex::Complex64;
 pub use dense::DenseMatrix;
 pub use lu::LuFactor;
+pub use rng::Rng;
 pub use sparse::{SparseMatrix, TripletBuilder};
 pub use splu::SparseLu;
 pub use waveform::Waveform;

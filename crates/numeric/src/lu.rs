@@ -134,6 +134,7 @@ impl<T: Scalar> LuFactor<T> {
         // Forward substitution with unit lower factor.
         for i in 1..n {
             let mut acc = x[i];
+            #[allow(clippy::needless_range_loop)]
             for j in 0..i {
                 acc = acc - self.lu[(i, j)] * x[j];
             }
@@ -142,6 +143,7 @@ impl<T: Scalar> LuFactor<T> {
         // Backward substitution with upper factor.
         for i in (0..n).rev() {
             let mut acc = x[i];
+            #[allow(clippy::needless_range_loop)]
             for j in (i + 1)..n {
                 acc = acc - self.lu[(i, j)] * x[j];
             }
@@ -298,7 +300,7 @@ mod tests {
                     a[(i, jj)] = next();
                 }
                 // Diagonal dominance keeps it well conditioned.
-                a[(i, i)] = a[(i, i)] + 2.0;
+                a[(i, i)] += 2.0;
             }
             let b: Vec<f64> = (0..n).map(|_| next()).collect();
             let lu = LuFactor::new(&a).unwrap();

@@ -450,9 +450,7 @@ mod tests {
         let dc = Waveform::from_fn(0.0, 1.0, 100, |_| 2.0);
         assert!((average(&dc).unwrap() - 2.0).abs() < 1e-12);
         assert!((rms(&dc).unwrap() - 2.0).abs() < 1e-12);
-        let sine = Waveform::from_fn(0.0, 1.0, 10_001, |t| {
-            (2.0 * std::f64::consts::PI * t).sin()
-        });
+        let sine = Waveform::from_fn(0.0, 1.0, 10_001, |t| (2.0 * std::f64::consts::PI * t).sin());
         assert!(average(&sine).unwrap().abs() < 1e-4);
         assert!((rms(&sine).unwrap() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-4);
     }

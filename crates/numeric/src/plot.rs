@@ -75,7 +75,10 @@ pub fn ascii_plot(
     let (y_lo, y_hi) = match options.y_range {
         Some(r) => r,
         None => {
-            let lo = traces.iter().map(|(_, w)| w.min()).fold(f64::INFINITY, f64::min);
+            let lo = traces
+                .iter()
+                .map(|(_, w)| w.min())
+                .fold(f64::INFINITY, f64::min);
             let hi = traces
                 .iter()
                 .map(|(_, w)| w.max())
@@ -104,6 +107,7 @@ pub fn ascii_plot(
     }
     for (idx, (_, w)) in traces.iter().enumerate() {
         let glyph = char::from_digit((idx + 1) as u32 % 36, 36).unwrap_or('#');
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             let t = t0 + span_t * col as f64 / (width - 1) as f64;
             let v = w.value_at(t)?;
@@ -121,9 +125,7 @@ pub fn ascii_plot(
         out.push('\n');
     }
     out.push_str(&format!("{y_lo:>11.3e} ┘"));
-    out.push_str(&format!(
-        "  t = {t0:.3e} … {t1:.3e} s\n",
-    ));
+    out.push_str(&format!("  t = {t0:.3e} … {t1:.3e} s\n",));
     for (idx, (name, _)) in traces.iter().enumerate() {
         let glyph = char::from_digit((idx + 1) as u32 % 36, 36).unwrap_or('#');
         out.push_str(&format!("            {glyph} = {name}\n"));

@@ -83,6 +83,7 @@ impl TripletBuilder {
         let mut row_idx = Vec::with_capacity(sorted.len());
         let mut values = Vec::with_capacity(sorted.len());
         let mut it = sorted.into_iter().peekable();
+        #[allow(clippy::needless_range_loop)]
         for col in 0..self.cols {
             col_ptr[col] = row_idx.len();
             while let Some(&(r, c, _)) = it.peek() {
@@ -171,6 +172,7 @@ impl SparseMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
+        #[allow(clippy::needless_range_loop)]
         for col in 0..self.cols {
             let xc = x[col];
             if xc == 0.0 {

@@ -78,6 +78,7 @@ impl SparseLu {
         // Explicit DFS stack: (original_row, next child index to visit).
         let mut stack: Vec<(usize, usize)> = Vec::new();
 
+        #[allow(clippy::needless_range_loop)]
         for col in 0..n {
             // Symbolic step: the non-zero pattern of the solution of
             // L·x = A[:, col] is the set of nodes reachable in the graph of L

@@ -95,7 +95,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SchematicError::Overlap { first: 0, second: 3 };
+        let e = SchematicError::Overlap {
+            first: 0,
+            second: 3,
+        };
         assert!(e.to_string().contains("overlap"));
         assert!(SchematicError::DiagonalWire { wire: 2 }
             .to_string()

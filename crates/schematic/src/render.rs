@@ -108,11 +108,7 @@ pub fn render_svg(d: &FunctionalDiagram) -> String {
         out,
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">"
     );
-    let _ = writeln!(
-        out,
-        "  <title>{} (functional diagram)</title>",
-        d.name()
-    );
+    let _ = writeln!(out, "  <title>{} (functional diagram)</title>", d.name());
     let _ = writeln!(
         out,
         "  <style>rect{{fill:#f8f8f4;stroke:#333;}}text{{font:11px monospace;}}line{{stroke:#555;}}</style>"
@@ -133,15 +129,9 @@ pub fn render_svg(d: &FunctionalDiagram) -> String {
         let endpoints: Vec<usize> = match driver {
             Some(drv) => {
                 others.retain(|&o| o != drv);
-                others
-                    .iter()
-                    .flat_map(|&o| [drv, o])
-                    .collect()
+                others.iter().flat_map(|&o| [drv, o]).collect()
             }
-            None => others
-                .windows(2)
-                .flat_map(|w| [w[0], w[1]])
-                .collect(),
+            None => others.windows(2).flat_map(|w| [w[0], w[1]]).collect(),
         };
         for pair in endpoints.chunks(2) {
             if let [a, b] = pair {
@@ -179,7 +169,9 @@ pub fn render_svg(d: &FunctionalDiagram) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Convenience: the positions of a diagram's pins in the rendered SVG are
@@ -195,7 +187,10 @@ pub fn describe_symbol(d: &FunctionalDiagram, id: SymbolId) -> String {
     };
     let mut out = format!("{sym}:");
     for (idx, spec) in sym.ports().iter().enumerate() {
-        let pr = PortRef { symbol: id, port: idx };
+        let pr = PortRef {
+            symbol: id,
+            port: idx,
+        };
         match d.net_of(pr) {
             Some(net) => {
                 let _ = write!(out, " {}→n{}", spec.name, net.id.0);

@@ -108,9 +108,8 @@ pub(crate) fn newton_solve(
         let mut delta: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
         let scale = damp_update(&mut delta, opts.max_voltage_step);
         let x_next: Vec<f64> = x.iter().zip(&delta).map(|(a, d)| a + d).collect();
-        let converged = scale == 1.0
-            && !limited
-            && opts.tolerances.converged(&x_next, &x, &is_voltage);
+        let converged =
+            scale == 1.0 && !limited && opts.tolerances.converged(&x_next, &x, &is_voltage);
         x = x_next;
         if converged {
             return Ok(NewtonOutcome {
@@ -202,7 +201,12 @@ mod tests {
         let d = c.node("d");
         c.add_vsource("V1", a, Circuit::GROUND, SourceWave::dc(5.0));
         c.add_resistor("R1", a, d, 1.0e3).unwrap();
-        c.add_diode("D1", d, Circuit::GROUND, crate::devices::DiodeParams::default());
+        c.add_diode(
+            "D1",
+            d,
+            Circuit::GROUND,
+            crate::devices::DiodeParams::default(),
+        );
         let n = c.n_unknowns();
         let mut stats = SimStats::default();
         let out = newton_solve(

@@ -122,8 +122,7 @@ fn solve_op_internal(
         }
         if ok {
             // Final solve with the shunt removed entirely.
-            if let Ok(out) =
-                newton_solve(circuit, Mode::Dc, &x, SolveSetup::default(), &mut stats)
+            if let Ok(out) = newton_solve(circuit, Mode::Dc, &x, SolveSetup::default(), &mut stats)
             {
                 return Ok((out.x, stats));
             }

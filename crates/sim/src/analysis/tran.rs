@@ -237,6 +237,7 @@ pub(crate) fn solve_tran(circuit: &mut Circuit, spec: &TranSpec) -> Result<TranR
                 // Local truncation error over node voltages.
                 let mut lte_max = 0.0f64;
                 if dt_prev > 0.0 {
+                    #[allow(clippy::needless_range_loop)]
                     for i in 0..n_nodes {
                         let lte = local_truncation_error(
                             method,
@@ -387,14 +388,10 @@ mod tests {
         // f0 = 1/(2π√(LC)) ≈ 5.03 kHz → period 198.7 µs. Count zero
         // crossings in the ringing tail.
         let crossings =
-            gabm_numeric::measure::crossings(&w, 0.0, gabm_numeric::measure::Edge::Rising)
-                .unwrap();
+            gabm_numeric::measure::crossings(&w, 0.0, gabm_numeric::measure::Edge::Rising).unwrap();
         assert!(crossings.len() >= 2, "no oscillation detected");
         let period = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
-        assert!(
-            (period - 198.7e-6).abs() < 20e-6,
-            "period = {period:.3e} s"
-        );
+        assert!((period - 198.7e-6).abs() < 20e-6, "period = {period:.3e} s");
     }
 
     #[test]

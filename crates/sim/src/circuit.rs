@@ -11,7 +11,7 @@ use crate::devices::controlled::{Cccs, Ccvs, Vccs, Vcvs};
 use crate::devices::diode::{Diode, DiodeParams};
 use crate::devices::inductor::Inductor;
 use crate::devices::isource::Isource;
-use crate::devices::mosfet::{Mosfet, MosfetParams, MosType};
+use crate::devices::mosfet::{MosType, Mosfet, MosfetParams};
 use crate::devices::resistor::Resistor;
 use crate::devices::switch::VSwitch;
 use crate::devices::vsource::Vsource;
@@ -300,6 +300,7 @@ impl Circuit {
     /// # Errors
     ///
     /// [`SimError::BadParameter`] for non-positive `W`/`L`.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_mosfet(
         &mut self,
         name: &str,
@@ -314,6 +315,7 @@ impl Circuit {
     }
 
     /// Adds a smooth voltage-controlled switch.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_vswitch(
         &mut self,
         name: &str,

@@ -88,14 +88,6 @@ impl MatrixStore {
             MatrixStore::Sparse(t) => t.clear(),
         }
     }
-
-    /// Entry accessor (test/diagnostic; sparse lookups convert on the fly).
-    pub(crate) fn get(&self, row: usize, col: usize) -> f64 {
-        match self {
-            MatrixStore::Dense(m) => m[(row, col)],
-            MatrixStore::Sparse(t) => t.to_csc().get(row, col),
-        }
-    }
 }
 
 impl std::ops::Index<(usize, usize)> for MatrixStore {
@@ -104,7 +96,7 @@ impl std::ops::Index<(usize, usize)> for MatrixStore {
         match self {
             MatrixStore::Dense(m) => &m[(row, col)],
             MatrixStore::Sparse(_) => {
-                panic!("indexing a sparse store by reference is not supported; use get()")
+                panic!("indexing a sparse store by reference is not supported")
             }
         }
     }
@@ -139,12 +131,7 @@ impl Stamper {
 
     /// Creates a stamper with an explicit matrix backend (`sparse = true`
     /// accumulates triplets for the sparse LU).
-    pub fn with_backend(
-        n_nodes: usize,
-        n_branches: usize,
-        mode: Mode,
-        sparse: bool,
-    ) -> Self {
+    pub fn with_backend(n_nodes: usize, n_branches: usize, mode: Mode, sparse: bool) -> Self {
         let n = n_nodes + n_branches;
         Stamper {
             n_nodes,

@@ -214,6 +214,7 @@ impl Device for BehavioralDevice {
                 self.model.eval(&ctx, &self.v, &mut self.i_pert);
                 self.v[j] = vj;
                 let col = Unknown::Node(self.pins[j]);
+                #[allow(clippy::needless_range_loop)]
                 for k in 0..n {
                     let g = (self.i_pert[k] - self.i0[k]) / dv;
                     if g != 0.0 {
@@ -225,6 +226,7 @@ impl Device for BehavioralDevice {
             }
         }
         self.jac = jac;
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             let offset = self.i0[k] - gv0[k];
             s.add_rhs(Unknown::Node(self.pins[k]), -offset);

@@ -118,10 +118,7 @@ mod tests {
         // Committed state: 2 V across the cap.
         c.v_prev = 2.0;
         let coeffs = Coefficients::new(Method::BackwardEuler, 1e-3, 0.0);
-        let mode = Mode::Tran {
-            time: 1e-3,
-            coeffs,
-        };
+        let mode = Mode::Tran { time: 1e-3, coeffs };
         let mut s = Stamper::new(1, 0, mode);
         s.reset(&[2.0], mode);
         c.stamp(&mut s);

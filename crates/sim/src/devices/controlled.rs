@@ -74,7 +74,11 @@ impl Device for Vcvs {
         s.add(Unknown::Node(self.out_m), br, -one);
         s.add(br, Unknown::Node(self.out_p), one);
         s.add(br, Unknown::Node(self.out_m), -one);
-        s.add(br, Unknown::Node(self.ctl_p), Complex64::from_real(-self.mu));
+        s.add(
+            br,
+            Unknown::Node(self.ctl_p),
+            Complex64::from_real(-self.mu),
+        );
         s.add(br, Unknown::Node(self.ctl_m), Complex64::from_real(self.mu));
     }
 }

@@ -158,10 +158,7 @@ mod tests {
         l.set_branch_base(0);
         l.i_prev = 1.0;
         let coeffs = Coefficients::new(Method::BackwardEuler, 1e-3, 0.0);
-        let mode = Mode::Tran {
-            time: 1e-3,
-            coeffs,
-        };
+        let mode = Mode::Tran { time: 1e-3, coeffs };
         let mut s = Stamper::new(1, 1, mode);
         s.reset(&[0.0, 1.0], mode);
         l.stamp(&mut s);

@@ -99,10 +99,7 @@ mod tests {
             0.5,
             0.0,
         );
-        let mode = Mode::Tran {
-            time: 0.5,
-            coeffs,
-        };
+        let mode = Mode::Tran { time: 0.5, coeffs };
         let mut s = Stamper::new(1, 0, mode);
         i.stamp(&mut s);
         let (_, rhs) = s.finish();

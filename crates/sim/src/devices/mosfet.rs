@@ -244,12 +244,7 @@ impl Device for Mosfet {
 
     fn stamp(&mut self, st: &mut Stamper) {
         let p = self.polarity();
-        let (vd, vg, vs, vb) = (
-            st.v(self.d),
-            st.v(self.g),
-            st.v(self.s),
-            st.v(self.b),
-        );
+        let (vd, vg, vs, vb) = (st.v(self.d), st.v(self.g), st.v(self.s), st.v(self.b));
         // Source/drain swap so the effective vds is non-negative in NMOS
         // space.
         let swapped = p * (vd - vs) < 0.0;
@@ -326,9 +321,21 @@ impl Device for Mosfet {
         s.add(uns, und, -gds);
         s.add(uns, unb, -gmbs);
         s.add(uns, uns, gss);
-        s.stamp_admittance(self.g, self.s, Complex64::new(0.0, s.omega * self.params.cgs));
-        s.stamp_admittance(self.g, self.d, Complex64::new(0.0, s.omega * self.params.cgd));
-        s.stamp_admittance(self.g, self.b, Complex64::new(0.0, s.omega * self.params.cgb));
+        s.stamp_admittance(
+            self.g,
+            self.s,
+            Complex64::new(0.0, s.omega * self.params.cgs),
+        );
+        s.stamp_admittance(
+            self.g,
+            self.d,
+            Complex64::new(0.0, s.omega * self.params.cgd),
+        );
+        s.stamp_admittance(
+            self.g,
+            self.b,
+            Complex64::new(0.0, s.omega * self.params.cgb),
+        );
     }
 
     fn accept_step(&mut self, state: &StateView<'_>) {

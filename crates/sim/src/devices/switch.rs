@@ -47,7 +47,7 @@ impl VSwitch {
             v_threshold,
             v_width: 0.1,
             g_on: 1.0 / r_on.max(1e-3),
-            g_off: 1.0 / r_off.min(1e12).max(1.0),
+            g_off: 1.0 / r_off.clamp(1.0, 1e12),
             g_last: 0.0,
         }
     }

@@ -106,9 +106,7 @@ impl SourceWave {
                 if t < *delay {
                     offset + ampl * phase.sin()
                 } else {
-                    offset
-                        + ampl
-                            * (2.0 * std::f64::consts::PI * freq * (t - delay) + phase).sin()
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay) + phase).sin()
                 }
             }
             SourceWave::Pulse {

@@ -165,9 +165,9 @@ fn parse_source(fields: &[&str]) -> Result<SourceWave, SimError> {
         let start = upper.find('(').ok_or_else(|| {
             SimError::BadAnalysis(format!("{name} needs parenthesized arguments"))
         })?;
-        let end = upper.rfind(')').ok_or_else(|| {
-            SimError::BadAnalysis(format!("unterminated {name} argument list"))
-        })?;
+        let end = upper
+            .rfind(')')
+            .ok_or_else(|| SimError::BadAnalysis(format!("unterminated {name} argument list")))?;
         joined[start + 1..end]
             .split_whitespace()
             .map(parse_value)
@@ -208,18 +208,17 @@ fn parse_source(fields: &[&str]) -> Result<SourceWave, SimError> {
     if upper.starts_with("PWL") {
         let a = args_of("PWL")?;
         if a.len() % 2 != 0 {
-            return Err(SimError::BadAnalysis(
-                "PWL needs time/value pairs".into(),
-            ));
+            return Err(SimError::BadAnalysis("PWL needs time/value pairs".into()));
         }
         let pts = a.chunks(2).map(|c| (c[0], c[1])).collect();
         return Ok(SourceWave::Pwl(pts));
     }
     // `DC value` or a bare value.
     let value_field = if upper.starts_with("DC") {
-        fields.get(1).copied().ok_or_else(|| {
-            SimError::BadAnalysis("DC needs a value".into())
-        })?
+        fields
+            .get(1)
+            .copied()
+            .ok_or_else(|| SimError::BadAnalysis("DC needs a value".into()))?
     } else {
         fields[0]
     };
@@ -260,9 +259,8 @@ pub fn parse_netlist(src: &str) -> Result<Circuit, SimError> {
     for (line_no, card) in &cards {
         let fields: Vec<&str> = card.split_whitespace().collect();
         if fields[0].eq_ignore_ascii_case(".model") {
-            let (name, model) = parse_model_card(&fields).map_err(|e| {
-                SimError::BadAnalysis(format!("line {line_no}: {e}"))
-            })?;
+            let (name, model) = parse_model_card(&fields)
+                .map_err(|e| SimError::BadAnalysis(format!("line {line_no}: {e}")))?;
             models.insert(name, model);
         }
     }
@@ -301,141 +299,135 @@ pub fn parse_netlist(src: &str) -> Result<Circuit, SimError> {
                 Ok(())
             }
         };
-        let result: Result<(), SimError> = (|| {
-            match kind {
-                'R' => {
-                    need(3)?;
-                    let a = ckt.node(fields[1]);
-                    let b = ckt.node(fields[2]);
-                    ckt.add_resistor(&name, a, b, parse_value(fields[3])?)
-                }
-                'C' => {
-                    need(3)?;
-                    let a = ckt.node(fields[1]);
-                    let b = ckt.node(fields[2]);
-                    ckt.add_capacitor(&name, a, b, parse_value(fields[3])?);
-                    Ok(())
-                }
-                'L' => {
-                    need(3)?;
-                    let a = ckt.node(fields[1]);
-                    let b = ckt.node(fields[2]);
-                    ckt.add_inductor(&name, a, b, parse_value(fields[3])?)
-                }
-                'V' => {
-                    need(2)?;
-                    let p = ckt.node(fields[1]);
-                    let m = ckt.node(fields[2]);
-                    let wave = parse_source(&fields[3..])?;
-                    ckt.add_vsource(&name, p, m, wave);
-                    Ok(())
-                }
-                'I' => {
-                    need(2)?;
-                    let p = ckt.node(fields[1]);
-                    let m = ckt.node(fields[2]);
-                    let wave = parse_source(&fields[3..])?;
-                    ckt.add_isource(&name, p, m, wave);
-                    Ok(())
-                }
-                'E' => {
-                    need(5)?;
-                    let op = ckt.node(fields[1]);
-                    let om = ckt.node(fields[2]);
-                    let cp = ckt.node(fields[3]);
-                    let cm = ckt.node(fields[4]);
-                    ckt.add_vcvs(&name, op, om, cp, cm, parse_value(fields[5])?);
-                    Ok(())
-                }
-                'G' => {
-                    need(5)?;
-                    let op = ckt.node(fields[1]);
-                    let om = ckt.node(fields[2]);
-                    let cp = ckt.node(fields[3]);
-                    let cm = ckt.node(fields[4]);
-                    ckt.add_vccs(&name, op, om, cp, cm, parse_value(fields[5])?);
-                    Ok(())
-                }
-                'F' => {
-                    need(4)?;
-                    let op = ckt.node(fields[1]);
-                    let om = ckt.node(fields[2]);
-                    ckt.add_cccs(&name, op, om, fields[3], parse_value(fields[4])?)
-                }
-                'H' => {
-                    need(4)?;
-                    let op = ckt.node(fields[1]);
-                    let om = ckt.node(fields[2]);
-                    ckt.add_ccvs(&name, op, om, fields[3], parse_value(fields[4])?)
-                }
-                'D' => {
-                    need(3)?;
-                    let a = ckt.node(fields[1]);
-                    let c = ckt.node(fields[2]);
-                    let model = models
-                        .get(&fields[3].to_ascii_uppercase())
-                        .ok_or_else(|| {
-                            SimError::BadAnalysis(format!("unknown model '{}'", fields[3]))
-                        })?;
-                    let ModelCard::Diode(p) = model else {
-                        return Err(SimError::BadAnalysis(format!(
-                            "'{}' is not a diode model",
-                            fields[3]
-                        )));
-                    };
-                    ckt.add_diode(&name, a, c, *p);
-                    Ok(())
-                }
-                'M' => {
-                    need(5)?;
-                    let d = ckt.node(fields[1]);
-                    let g = ckt.node(fields[2]);
-                    let s = ckt.node(fields[3]);
-                    let b = ckt.node(fields[4]);
-                    let model = models
-                        .get(&fields[5].to_ascii_uppercase())
-                        .ok_or_else(|| {
-                            SimError::BadAnalysis(format!("unknown model '{}'", fields[5]))
-                        })?;
-                    let ModelCard::Mos(t, base) = model else {
-                        return Err(SimError::BadAnalysis(format!(
-                            "'{}' is not a MOS model",
-                            fields[5]
-                        )));
-                    };
-                    let mut p = *base;
-                    let kv = parse_kv(&fields[6..])?;
-                    if let Some(v) = kv.get("w") {
-                        p.w = *v;
-                    }
-                    if let Some(v) = kv.get("l") {
-                        p.l = *v;
-                    }
-                    ckt.add_mosfet(&name, *t, d, g, s, b, p)
-                }
-                'S' => {
-                    need(4)?;
-                    let a = ckt.node(fields[1]);
-                    let b = ckt.node(fields[2]);
-                    let cp = ckt.node(fields[3]);
-                    let cm = ckt.node(fields[4]);
-                    let kv = parse_kv(&fields[5..])?;
-                    ckt.add_vswitch(
-                        &name,
-                        a,
-                        b,
-                        cp,
-                        cm,
-                        kv.get("vt").copied().unwrap_or(0.0),
-                        kv.get("ron").copied().unwrap_or(1.0),
-                        kv.get("roff").copied().unwrap_or(1.0e9),
-                    );
-                    Ok(())
-                }
-                other => Err(SimError::BadAnalysis(format!(
-                    "unknown element type '{other}'"
-                ))),
+        let result: Result<(), SimError> = (|| match kind {
+            'R' => {
+                need(3)?;
+                let a = ckt.node(fields[1]);
+                let b = ckt.node(fields[2]);
+                ckt.add_resistor(&name, a, b, parse_value(fields[3])?)
             }
+            'C' => {
+                need(3)?;
+                let a = ckt.node(fields[1]);
+                let b = ckt.node(fields[2]);
+                ckt.add_capacitor(&name, a, b, parse_value(fields[3])?);
+                Ok(())
+            }
+            'L' => {
+                need(3)?;
+                let a = ckt.node(fields[1]);
+                let b = ckt.node(fields[2]);
+                ckt.add_inductor(&name, a, b, parse_value(fields[3])?)
+            }
+            'V' => {
+                need(2)?;
+                let p = ckt.node(fields[1]);
+                let m = ckt.node(fields[2]);
+                let wave = parse_source(&fields[3..])?;
+                ckt.add_vsource(&name, p, m, wave);
+                Ok(())
+            }
+            'I' => {
+                need(2)?;
+                let p = ckt.node(fields[1]);
+                let m = ckt.node(fields[2]);
+                let wave = parse_source(&fields[3..])?;
+                ckt.add_isource(&name, p, m, wave);
+                Ok(())
+            }
+            'E' => {
+                need(5)?;
+                let op = ckt.node(fields[1]);
+                let om = ckt.node(fields[2]);
+                let cp = ckt.node(fields[3]);
+                let cm = ckt.node(fields[4]);
+                ckt.add_vcvs(&name, op, om, cp, cm, parse_value(fields[5])?);
+                Ok(())
+            }
+            'G' => {
+                need(5)?;
+                let op = ckt.node(fields[1]);
+                let om = ckt.node(fields[2]);
+                let cp = ckt.node(fields[3]);
+                let cm = ckt.node(fields[4]);
+                ckt.add_vccs(&name, op, om, cp, cm, parse_value(fields[5])?);
+                Ok(())
+            }
+            'F' => {
+                need(4)?;
+                let op = ckt.node(fields[1]);
+                let om = ckt.node(fields[2]);
+                ckt.add_cccs(&name, op, om, fields[3], parse_value(fields[4])?)
+            }
+            'H' => {
+                need(4)?;
+                let op = ckt.node(fields[1]);
+                let om = ckt.node(fields[2]);
+                ckt.add_ccvs(&name, op, om, fields[3], parse_value(fields[4])?)
+            }
+            'D' => {
+                need(3)?;
+                let a = ckt.node(fields[1]);
+                let c = ckt.node(fields[2]);
+                let model = models.get(&fields[3].to_ascii_uppercase()).ok_or_else(|| {
+                    SimError::BadAnalysis(format!("unknown model '{}'", fields[3]))
+                })?;
+                let ModelCard::Diode(p) = model else {
+                    return Err(SimError::BadAnalysis(format!(
+                        "'{}' is not a diode model",
+                        fields[3]
+                    )));
+                };
+                ckt.add_diode(&name, a, c, *p);
+                Ok(())
+            }
+            'M' => {
+                need(5)?;
+                let d = ckt.node(fields[1]);
+                let g = ckt.node(fields[2]);
+                let s = ckt.node(fields[3]);
+                let b = ckt.node(fields[4]);
+                let model = models.get(&fields[5].to_ascii_uppercase()).ok_or_else(|| {
+                    SimError::BadAnalysis(format!("unknown model '{}'", fields[5]))
+                })?;
+                let ModelCard::Mos(t, base) = model else {
+                    return Err(SimError::BadAnalysis(format!(
+                        "'{}' is not a MOS model",
+                        fields[5]
+                    )));
+                };
+                let mut p = *base;
+                let kv = parse_kv(&fields[6..])?;
+                if let Some(v) = kv.get("w") {
+                    p.w = *v;
+                }
+                if let Some(v) = kv.get("l") {
+                    p.l = *v;
+                }
+                ckt.add_mosfet(&name, *t, d, g, s, b, p)
+            }
+            'S' => {
+                need(4)?;
+                let a = ckt.node(fields[1]);
+                let b = ckt.node(fields[2]);
+                let cp = ckt.node(fields[3]);
+                let cm = ckt.node(fields[4]);
+                let kv = parse_kv(&fields[5..])?;
+                ckt.add_vswitch(
+                    &name,
+                    a,
+                    b,
+                    cp,
+                    cm,
+                    kv.get("vt").copied().unwrap_or(0.0),
+                    kv.get("ron").copied().unwrap_or(1.0),
+                    kv.get("roff").copied().unwrap_or(1.0e9),
+                );
+                Ok(())
+            }
+            other => Err(SimError::BadAnalysis(format!(
+                "unknown element type '{other}'"
+            ))),
         })();
         result.map_err(|e| err_at(*line_no, e.to_string()))?;
     }
@@ -582,7 +574,10 @@ C1 out 0 1u
         let err = parse_netlist("t\nD1 a 0 NOPE\n").unwrap_err();
         assert!(err.to_string().contains("unknown model"), "{err}");
         let err = parse_netlist("t\n.tran 1u 1m\n").unwrap_err();
-        assert!(err.to_string().contains("unsupported control card"), "{err}");
+        assert!(
+            err.to_string().contains("unsupported control card"),
+            "{err}"
+        );
     }
 
     #[test]

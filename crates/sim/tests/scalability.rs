@@ -32,7 +32,7 @@ fn ladder(n: usize, sparse_threshold: usize) -> (Circuit, Vec<NodeId>) {
 #[test]
 fn sparse_and_dense_paths_agree() {
     let n = 80; // 81 nodes + 1 branch unknown
-    // Diffusive settling of an n-stage RC line ~ 0.5 n^2 RC = 3.2 ms.
+                // Diffusive settling of an n-stage RC line ~ 0.5 n^2 RC = 3.2 ms.
     let tstop = 20.0e-3;
     // Dense: threshold above the system size; sparse: threshold 1.
     let (mut dense, dn) = ladder(n, usize::MAX);

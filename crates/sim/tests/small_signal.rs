@@ -134,7 +134,12 @@ fn diode_small_signal_conductance() {
     ))
     .unwrap();
     ckt.add_resistor("R1", a, d, 10.0e3).unwrap();
-    ckt.add_diode("D1", d, Circuit::GROUND, gabm_sim::devices::DiodeParams::default());
+    ckt.add_diode(
+        "D1",
+        d,
+        Circuit::GROUND,
+        gabm_sim::devices::DiodeParams::default(),
+    );
     let op = ckt.op().unwrap();
     let vd = op.voltage(d);
     let gd = 1e-14 * (vd / 0.025861).exp() / 0.025861;

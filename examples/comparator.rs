@@ -15,7 +15,12 @@ use gabm::sim::devices::SourceWave;
 use std::time::Instant;
 
 fn stimulus(ckt: &mut Circuit, inp: NodeId, inn: NodeId, strobe: NodeId) {
-    ckt.add_vsource("VINP", inp, Circuit::GROUND, SourceWave::sine(0.0, 0.25, 50.0e3));
+    ckt.add_vsource(
+        "VINP",
+        inp,
+        Circuit::GROUND,
+        SourceWave::sine(0.0, 0.25, 50.0e3),
+    );
     ckt.add_vsource(
         "VINN",
         inn,
@@ -79,10 +84,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w_cmos = rc.voltage_waveform(cn[3])?;
 
     // --- comparison --------------------------------------------------------
-    println!("behavioural: {} steps, {} NR iterations, {t_beh:?}",
-        rb.stats.accepted_steps, rb.stats.newton_iterations);
-    println!("transistor:  {} steps, {} NR iterations, {t_cmos:?}",
-        rc.stats.accepted_steps, rc.stats.newton_iterations);
+    println!(
+        "behavioural: {} steps, {} NR iterations, {t_beh:?}",
+        rb.stats.accepted_steps, rb.stats.newton_iterations
+    );
+    println!(
+        "transistor:  {} steps, {} NR iterations, {t_cmos:?}",
+        rc.stats.accepted_steps, rc.stats.newton_iterations
+    );
     println!(
         "speedup {:.2}x (paper: 15.2 s / 4.9 s = 3.1x on a Sun Sparc 10/30)",
         t_cmos.as_secs_f64() / t_beh.as_secs_f64()

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Repository CI gate: formatting, lints, build, tests.
+#
+# Usage: scripts/ci.sh
+# Works fully offline; every dependency is in-tree.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "CI OK"

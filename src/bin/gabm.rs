@@ -1,0 +1,172 @@
+//! `gabm` — command-line front end for the GABM toolchain.
+//!
+//! Currently exposes the static analyser:
+//!
+//! ```text
+//! gabm lint <file.fas | file.json> [--format text|json] [--deny-warnings]
+//! gabm lint --construct <input-stage|output-stage|power-supply|slew-rate>
+//! gabm lint --list-passes
+//! ```
+//!
+//! `.fas` files are parsed and linted as FAS source; `.json` files are
+//! deserialized as functional diagrams and linted end to end (diagram
+//! rules, then — when error-free — dataflow over the lowered IR).
+//!
+//! Exit status: `0` clean, `1` diagnostics found (errors always count;
+//! warnings only under `--deny-warnings`), `2` usage or I/O failure.
+
+use gabm::core::constructs::{InputStageSpec, OutputStageSpec, PowerSupplySpec, SlewRateSpec};
+use gabm::core::json::from_str;
+use gabm::lint::{lint_diagram, lint_fas_source, passes, render_json, render_text};
+use gabm::lint::{Diagnostic, Severity};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: gabm lint <file.fas | file.json> [options]
+       gabm lint --construct <name> [options]
+       gabm lint --list-passes
+
+options:
+  --construct <name>   lint a built-in paper construct instead of a file
+                       (input-stage, output-stage, power-supply, slew-rate)
+  --format <fmt>       output format: text (default) or json
+  --deny-warnings      exit non-zero on warnings, not only on errors
+  --list-passes        list every registered pass and exit
+";
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct LintArgs {
+    input: Option<String>,
+    construct: Option<String>,
+    format: Format,
+    deny_warnings: bool,
+    list_passes: bool,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
+    let mut out = LintArgs {
+        input: None,
+        construct: None,
+        format: Format::Text,
+        deny_warnings: false,
+        list_passes: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--construct" => {
+                let name = it.next().ok_or("--construct requires a name")?;
+                out.construct = Some(name.clone());
+            }
+            "--format" => {
+                let fmt = it.next().ok_or("--format requires 'text' or 'json'")?;
+                out.format = match fmt.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+            }
+            "--deny-warnings" => out.deny_warnings = true,
+            "--list-passes" => out.list_passes = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'"));
+            }
+            other => {
+                if out.input.is_some() {
+                    return Err("more than one input file".to_string());
+                }
+                out.input = Some(other.to_string());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the requested §3.3 construct with its documented example values.
+fn construct_diagram(name: &str) -> Result<gabm::core::FunctionalDiagram, String> {
+    let d = match name {
+        "input-stage" => InputStageSpec::new("in", 1.0e-6, 5.0e-12).diagram(),
+        "output-stage" => OutputStageSpec::new("out", 1.0e-3).diagram(),
+        "power-supply" => PowerSupplySpec::new("vdd", "vss", 1.0e-5, 1.0e-6, 2).diagram(),
+        "slew-rate" => SlewRateSpec::new(2.0e6, 2.0e6).diagram(),
+        other => {
+            return Err(format!(
+                "unknown construct '{other}' (expected input-stage, output-stage, power-supply or slew-rate)"
+            ))
+        }
+    };
+    d.map_err(|e| format!("failed to build construct '{name}': {e}"))
+}
+
+fn lint_input(args: &LintArgs) -> Result<Vec<Diagnostic>, String> {
+    if let Some(name) = &args.construct {
+        return Ok(lint_diagram(&construct_diagram(name)?));
+    }
+    let Some(path) = &args.input else {
+        return Err("no input file (or --construct) given".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    if path.ends_with(".json") {
+        let diagram: gabm::core::FunctionalDiagram =
+            from_str(&text).map_err(|e| format!("'{path}' is not a diagram: {e}"))?;
+        Ok(lint_diagram(&diagram))
+    } else {
+        // Default: treat as FAS source (§4.2 textual models).
+        lint_fas_source(&text).map_err(|e| format!("'{path}': {e}"))
+    }
+}
+
+fn run_lint(args: &[String]) -> Result<ExitCode, String> {
+    let args = parse_lint_args(args)?;
+    if args.list_passes {
+        for (layer, name) in passes() {
+            println!("{layer}: {name}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let diags = lint_input(&args)?;
+    match args.format {
+        Format::Text => print!("{}", render_text(&diags)),
+        Format::Json => println!("{}", render_json(&diags)),
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let fail = errors > 0 || (args.deny_warnings && warnings > 0);
+    Ok(if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("lint") => match run_lint(&argv[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

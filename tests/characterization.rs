@@ -31,10 +31,8 @@ fn comparator_response_time_tracks_slew_rate() {
             ("vdd", Bias::Voltage(2.5)),
             ("vss", Bias::Voltage(-2.5)),
         ];
-        let x = rigs::response_time(
-            &dut, "strobe", "outp", &bias, -1.0, 1.0, 1.0, 40.0e-6,
-        )
-        .unwrap();
+        let x =
+            rigs::response_time(&dut, "strobe", "outp", &bias, -1.0, 1.0, 1.0, 40.0e-6).unwrap();
         // Slewing from 0 to the +1 V threshold takes ~1/slew seconds.
         let expect = 1.0 / slew;
         assert!(
@@ -93,7 +91,9 @@ fn input_stage_frequency_response_has_rc_pole() {
 /// resistance distribution mirrors the parameter scatter.
 #[test]
 fn monte_carlo_rin_scatter() {
-    let diagram = InputStageSpec::new("in", 1.0e-6, 5.0e-12).diagram().unwrap();
+    let diagram = InputStageSpec::new("in", 1.0e-6, 5.0e-12)
+        .diagram()
+        .unwrap();
     let code = generate(&diagram, Backend::Fas).unwrap();
     let model = compile(&code.text).unwrap();
     let mut scatters = BTreeMap::new();

@@ -1,0 +1,244 @@
+//! Golden tests for `gabm-lint`: one defective fixture per diagnostic
+//! code, each triggering its code exactly once with a stable code string
+//! and location, plus the regression guarantee that the paper's own
+//! constructs (§3.3) and generated FAS listing (§4.2) lint clean.
+
+use gabm::codegen::{generate, Backend, CodegenError};
+use gabm::core::constructs::{InputStageSpec, OutputStageSpec, PowerSupplySpec, SlewRateSpec};
+use gabm::core::symbol::PropertyValue;
+use gabm::core::{Dimension, FunctionalDiagram, SymbolKind};
+use gabm::lint::{lint_diagram, lint_fas_source, Code, Diagnostic, Location, Severity};
+
+fn only(diags: &[Diagnostic], code: Code) -> &Diagnostic {
+    let hits: Vec<_> = diags.iter().filter(|d| d.code == code).collect();
+    assert_eq!(hits.len(), 1, "{code} expected exactly once in {diags:?}");
+    hits[0]
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(path).expect("fixture readable")
+}
+
+// ---------------------------------------------------------------- diagram
+
+#[test]
+fn golden_gabm001_duplicate_net_driver() {
+    // Two constants on the same net: violates the §3.2 rule that "each net
+    // must be driven by exactly one output pin of a GBS". The builder API
+    // refuses such a connection outright, so the fixture arrives the way a
+    // real one would — from a serialized diagram file.
+    let mut d = FunctionalDiagram::new("dup");
+    let c1 = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+    let c2 = d.add_symbol(SymbolKind::Constant { value: 2.0 });
+    let g = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+    let _ = c2;
+    d.connect(d.port(c1, "out").unwrap(), d.port(g, "in").unwrap())
+        .unwrap();
+    // Splice the second constant's output into the net's port list.
+    let json = gabm::core::json::to_string(&d);
+    let patched = json.replacen("\"ports\":[", "\"ports\":[{\"symbol\":1,\"port\":0},", 1);
+    assert_ne!(json, patched, "fixture patch must apply");
+    let d: FunctionalDiagram = gabm::core::json::from_str(&patched).unwrap();
+    let diags = lint_diagram(&d);
+    let diag = only(&diags, Code::MultipleDrivers);
+    assert_eq!(diag.severity, Severity::Error);
+    assert!(diag.net().is_some(), "GABM001 locates the net: {diag:?}");
+}
+
+#[test]
+fn golden_gabm003_dangling_input() {
+    let mut d = FunctionalDiagram::new("dangling");
+    d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(2.0))], None);
+    let diags = lint_diagram(&d);
+    let diag = only(&diags, Code::UnconnectedInput);
+    assert_eq!(diag.severity, Severity::Error);
+    assert!(
+        matches!(diag.location, Location::Port { .. }),
+        "GABM003 locates the port: {diag:?}"
+    );
+}
+
+#[test]
+fn golden_gabm007_dimension_mix() {
+    // Voltage probe wired straight into a current generator — the paper's
+    // "oil and water will not mix".
+    let mut d = FunctionalDiagram::new("mix");
+    let pin = d.add_symbol(SymbolKind::Pin { name: "in".into() });
+    let probe = d.add_symbol(SymbolKind::Probe {
+        quantity: Dimension::VOLTAGE,
+    });
+    let gen = d.add_symbol(SymbolKind::Generator {
+        quantity: Dimension::CURRENT,
+    });
+    d.connect(d.port(pin, "pin").unwrap(), d.port(probe, "pin").unwrap())
+        .unwrap();
+    d.connect(d.port(pin, "pin").unwrap(), d.port(gen, "pin").unwrap())
+        .unwrap();
+    d.connect(d.port(probe, "out").unwrap(), d.port(gen, "in").unwrap())
+        .unwrap();
+    let diags = lint_diagram(&d);
+    let diag = only(&diags, Code::DimensionConflict);
+    assert_eq!(diag.severity, Severity::Error);
+    assert!(
+        !diag.notes.is_empty(),
+        "GABM007 explains the inference chain: {diag:?}"
+    );
+}
+
+#[test]
+fn golden_gabm008_algebraic_loop() {
+    let mut d = FunctionalDiagram::new("loop");
+    let g1 = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+    let g2 = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+    d.connect(d.port(g1, "out").unwrap(), d.port(g2, "in").unwrap())
+        .unwrap();
+    d.connect(d.port(g2, "out").unwrap(), d.port(g1, "in").unwrap())
+        .unwrap();
+    let diags = lint_diagram(&d);
+    let diag = only(&diags, Code::AlgebraicLoop);
+    assert_eq!(diag.severity, Severity::Error);
+    let path = diag
+        .notes
+        .iter()
+        .find(|n| n.starts_with("cycle path:"))
+        .expect("full cycle path note");
+    assert_eq!(path.matches("->").count(), 2, "path: {path}");
+}
+
+#[test]
+fn golden_gabm011_degenerate_limiter() {
+    let mut d = FunctionalDiagram::new("lim");
+    let c = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+    let lim = d.add_symbol_with(
+        SymbolKind::Limiter,
+        &[
+            ("min", PropertyValue::Number(5.0)),
+            ("max", PropertyValue::Number(1.0)),
+        ],
+        None,
+    );
+    d.connect(d.port(c, "out").unwrap(), d.port(lim, "in").unwrap())
+        .unwrap();
+    let diags = lint_diagram(&d);
+    let diag = only(&diags, Code::DegenerateLimiter);
+    assert_eq!(diag.severity, Severity::Error);
+    assert_eq!(diag.symbol(), Some(lim));
+}
+
+// -------------------------------------------------------------------- FAS
+
+#[test]
+fn golden_gabm030_use_before_def() {
+    let diags = lint_fas_source(&fixture("use_before_def.fas")).unwrap();
+    let diag = only(&diags, Code::FasUseBeforeDef);
+    assert_eq!(diag.severity, Severity::Error);
+    assert!(
+        matches!(diag.location, Location::Source { line: 2, .. }),
+        "located at the offending make: {diag:?}"
+    );
+}
+
+#[test]
+fn golden_gabm031_unused_variable() {
+    let diags = lint_fas_source(&fixture("unused_variable.fas")).unwrap();
+    let diag = only(&diags, Code::FasUnusedVariable);
+    assert_eq!(diag.severity, Severity::Warning);
+    assert!(diag.message.contains("'scratch'"));
+    assert!(matches!(diag.location, Location::Source { line: 3, .. }));
+}
+
+#[test]
+fn golden_gabm032_dead_branch() {
+    let diags = lint_fas_source(&fixture("dead_branch.fas")).unwrap();
+    let diag = only(&diags, Code::FasDeadBranch);
+    assert_eq!(diag.severity, Severity::Warning);
+    assert!(matches!(diag.location, Location::Source { line: 3, .. }));
+}
+
+#[test]
+fn golden_gabm033_034_035_const_arithmetic() {
+    let diags = lint_fas_source(&fixture("const_arith.fas")).unwrap();
+    let div = only(&diags, Code::FasDivisionByZero);
+    assert!(matches!(div.location, Location::Source { line: 2, .. }));
+    let dom = only(&diags, Code::FasDomainError);
+    assert!(matches!(dom.location, Location::Source { line: 3, .. }));
+    let lim = only(&diags, Code::FasDegenerateLimit);
+    assert!(matches!(lim.location, Location::Source { line: 4, .. }));
+}
+
+// ------------------------------------------------------- clean regressions
+
+#[test]
+fn paper_constructs_lint_clean() {
+    let constructs: Vec<(&str, FunctionalDiagram)> = vec![
+        (
+            "input-stage",
+            InputStageSpec::new("in", 1.0e-6, 5.0e-12)
+                .diagram()
+                .unwrap(),
+        ),
+        (
+            "output-stage",
+            OutputStageSpec::new("out", 1.0e-3).diagram().unwrap(),
+        ),
+        (
+            "power-supply",
+            PowerSupplySpec::new("vdd", "vss", 1.0e-5, 1.0e-6, 2)
+                .diagram()
+                .unwrap(),
+        ),
+        (
+            "slew-rate",
+            SlewRateSpec::new(2.0e6, 2.0e6).diagram().unwrap(),
+        ),
+    ];
+    for (name, d) in constructs {
+        let diags = lint_diagram(&d);
+        assert!(diags.is_empty(), "{name} must lint clean: {diags:?}");
+    }
+}
+
+#[test]
+fn generated_input_stage_listing_lints_clean() {
+    // The §4.2 FAS listing, generated from the input-stage diagram, must
+    // survive its own toolchain's source analysis with zero diagnostics.
+    let d = InputStageSpec::new("in", 1.0e-6, 5.0e-12)
+        .diagram()
+        .unwrap();
+    let code = generate(&d, Backend::Fas).unwrap();
+    let diags = lint_fas_source(&code.text).unwrap();
+    assert!(diags.is_empty(), "generated listing: {diags:?}");
+}
+
+#[test]
+fn clean_fixture_lints_clean() {
+    let diags = lint_fas_source(&fixture("clean.fas")).unwrap();
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn codegen_refuses_diagram_with_lint_errors() {
+    // Any diagram-level lint error must make generation return Err — never
+    // panic, never emit code.
+    let mut d = FunctionalDiagram::new("bad");
+    let c = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+    let lim = d.add_symbol_with(
+        SymbolKind::Limiter,
+        &[
+            ("min", PropertyValue::Number(5.0)),
+            ("max", PropertyValue::Number(1.0)),
+        ],
+        None,
+    );
+    d.connect(d.port(c, "out").unwrap(), d.port(lim, "in").unwrap())
+        .unwrap();
+    for backend in [Backend::Fas, Backend::VhdlAms, Backend::Mast] {
+        match generate(&d, backend) {
+            Err(CodegenError::Inconsistent(report)) => {
+                assert!(report.error_count() > 0);
+            }
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+    }
+}

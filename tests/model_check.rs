@@ -39,10 +39,7 @@ fn output_stage_parameters_recovered() {
     let x_ilim = rigs::output_current_limit(&dut, "out", &[], 0.1, 0.5).unwrap();
     let report = check_model(
         "output_stage",
-        &[
-            (("rout", 1.0 / gout), &x_rout),
-            (("ilim", ilim), &x_ilim),
-        ],
+        &[(("rout", 1.0 / gout), &x_rout), (("ilim", ilim), &x_ilim)],
         0.2,
     );
     assert!(report.passed(), "{report}");

@@ -2,8 +2,8 @@
 //! the behavioural comparator must agree with the transistor circuit on
 //! every strobed decision, and must cost less to simulate.
 
-use gabm_bench::{behavioural_comparator_circuit, cmos_comparator_circuit, ComparatorStimulus};
 use gabm::sim::analysis::tran::TranSpec;
+use gabm_bench::{behavioural_comparator_circuit, cmos_comparator_circuit, ComparatorStimulus};
 
 #[test]
 fn fig7_decisions_agree_and_behavioural_is_cheaper() {

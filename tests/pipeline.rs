@@ -48,7 +48,9 @@ fn behavioural_input_stage_matches_rc() {
         SourceWave::pulse(0.0, 1.0, 1e-6, 1e-7, 1e-7, 1.0, 0.0),
     );
     ckt_r.add_resistor("RS", src_r, n_r, 1.0e6).unwrap();
-    ckt_r.add_resistor("RIN", n_r, Circuit::GROUND, rin).unwrap();
+    ckt_r
+        .add_resistor("RIN", n_r, Circuit::GROUND, rin)
+        .unwrap();
     ckt_r.add_capacitor("CIN", n_r, Circuit::GROUND, cin);
     let tran_r = ckt_r.tran(&TranSpec::new(30e-6)).unwrap();
     let w_r = tran_r.voltage_waveform(n_r).unwrap();

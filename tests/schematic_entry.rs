@@ -87,7 +87,9 @@ fn drawn_diagram_matches_construct_codegen() {
 
     let from_sheet = generate(&drawn, Backend::Fas).expect("generates");
     let from_construct = generate(
-        &InputStageSpec::new("in", 1.0e-6, 5.0e-12).diagram().unwrap(),
+        &InputStageSpec::new("in", 1.0e-6, 5.0e-12)
+            .diagram()
+            .unwrap(),
         Backend::Fas,
     )
     .expect("generates");
@@ -102,9 +104,7 @@ fn probe_fanout_via_t_junction() {
     // wire router must have merged those into one net.
     let sheet = draw_input_stage();
     let drawn = sheet.extract().unwrap();
-    let probe_out = drawn
-        .port(gabm::core::diagram::SymbolId(2), "out")
-        .unwrap();
+    let probe_out = drawn.port(gabm::core::diagram::SymbolId(2), "out").unwrap();
     let net = drawn.net_of(probe_out).expect("probe out is wired");
     assert_eq!(net.ports.len(), 3, "probe out should fan out to 2 loads");
 }
