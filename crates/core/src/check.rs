@@ -18,7 +18,7 @@
 //!    diagram interface (GABM009) and parameters referenced nowhere
 //!    (GABM010) are flagged as diagram dead code.
 
-use crate::diag::{Code, Diagnostic, Location, Severity};
+use crate::diag::{Code, Diagnostic, Fix, FixEdit, Location, Severity};
 use crate::diagram::{FunctionalDiagram, NetId, PortRef, SymbolId};
 use crate::quantity::Dimension;
 use crate::symbol::{PortDirection, PropertyValue, SymbolKind};
@@ -193,11 +193,19 @@ fn check_port_connections(d: &FunctionalDiagram, report: &mut CheckReport) {
             }
         }
         if !any_connected && !ports.is_empty() {
-            report.push(Diagnostic::new(
-                Code::DisconnectedSymbol,
-                format!("{sym} is not connected at all"),
-                Location::Symbol(SymbolId(sym.id)),
-            ));
+            report.push(
+                Diagnostic::new(
+                    Code::DisconnectedSymbol,
+                    format!("{sym} is not connected at all"),
+                    Location::Symbol(SymbolId(sym.id)),
+                )
+                .with_fix(Fix::new(
+                    format!("remove the disconnected {sym}"),
+                    vec![FixEdit::RemoveSymbol {
+                        symbol: SymbolId(sym.id),
+                    }],
+                )),
+            );
         }
     }
 }
@@ -249,6 +257,14 @@ fn check_limiter_bounds(d: &FunctionalDiagram, report: &mut CheckReport) {
                     )
                     .with_note(format!(
                         "'min' resolves to {lo}, 'max' resolves to {hi} (parameter defaults applied)"
+                    ))
+                    .with_fix(Fix::new(
+                        "swap the 'min' and 'max' properties",
+                        vec![FixEdit::SwapProperties {
+                            symbol: SymbolId(sym.id),
+                            first: "min".to_string(),
+                            second: "max".to_string(),
+                        }],
                     )),
                 );
             }
@@ -710,13 +726,21 @@ fn check_dead_symbols(d: &FunctionalDiagram, report: &mut CheckReport) {
         });
         // Fully disconnected symbols are already GABM005.
         if has_output && any_connected {
-            report.push(Diagnostic::new(
-                Code::DeadSymbol,
-                format!(
-                    "{sym} is dead: its output never reaches a generator, pin, or interface port"
-                ),
-                Location::Symbol(SymbolId(sym.id)),
-            ));
+            report.push(
+                Diagnostic::new(
+                    Code::DeadSymbol,
+                    format!(
+                        "{sym} is dead: its output never reaches a generator, pin, or interface port"
+                    ),
+                    Location::Symbol(SymbolId(sym.id)),
+                )
+                .with_fix(Fix::new(
+                    format!("remove the dead {sym}"),
+                    vec![FixEdit::RemoveSymbol {
+                        symbol: SymbolId(sym.id),
+                    }],
+                )),
+            );
         }
     }
 }
@@ -741,11 +765,19 @@ fn check_unused_parameters(d: &FunctionalDiagram, report: &mut CheckReport) {
     }
     for decl in d.parameters() {
         if !used.contains(decl.name.as_str()) {
-            report.push(Diagnostic::new(
-                Code::UnusedParameter,
-                format!("parameter '{}' is declared but never referenced", decl.name),
-                Location::None,
-            ));
+            report.push(
+                Diagnostic::new(
+                    Code::UnusedParameter,
+                    format!("parameter '{}' is declared but never referenced", decl.name),
+                    Location::None,
+                )
+                .with_fix(Fix::new(
+                    format!("remove the unused parameter declaration '{}'", decl.name),
+                    vec![FixEdit::RemoveParameter {
+                        name: decl.name.clone(),
+                    }],
+                )),
+            );
         }
     }
 }

@@ -8,7 +8,7 @@
 //! dimension-inference chain, the full cycle path of an algebraic loop).
 
 use crate::diagram::{NetId, SymbolId};
-use crate::json::Value;
+use crate::json::{schema, JsonError, Value};
 use std::fmt;
 
 /// Stable diagnostic codes. The numeric ranges partition by analysis
@@ -106,6 +106,55 @@ impl Code {
         }
     }
 
+    /// Parses a stable code string (`"GABM001"`…) back into a [`Code`].
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// Whether `gabm lint --fix` can attach a machine-applicable [`Fix`]
+    /// to findings with this code (for at least some shapes of the
+    /// finding; e.g. GABM022 is fixable for degenerate `limit` bounds but
+    /// not for a division by zero).
+    pub fn has_autofix(&self) -> bool {
+        matches!(
+            self,
+            Code::DisconnectedSymbol
+                | Code::DeadSymbol
+                | Code::UnusedParameter
+                | Code::DegenerateLimiter
+                | Code::IrDeadAssignment
+                | Code::IrConstFoldError
+                | Code::FasUnusedVariable
+                | Code::FasDeadBranch
+                | Code::FasDegenerateLimit
+        )
+    }
+
+    /// Every code, in numeric order.
+    pub const ALL: &'static [Code] = &[
+        Code::MultipleDrivers,
+        Code::UndrivenNet,
+        Code::UnconnectedInput,
+        Code::UnconnectedOutput,
+        Code::DisconnectedSymbol,
+        Code::MissingProperty,
+        Code::DimensionConflict,
+        Code::AlgebraicLoop,
+        Code::DeadSymbol,
+        Code::UnusedParameter,
+        Code::DegenerateLimiter,
+        Code::DimensionedFunctionInput,
+        Code::IrUseBeforeDef,
+        Code::IrDeadAssignment,
+        Code::IrConstFoldError,
+        Code::FasUseBeforeDef,
+        Code::FasUnusedVariable,
+        Code::FasDeadBranch,
+        Code::FasDivisionByZero,
+        Code::FasDomainError,
+        Code::FasDegenerateLimit,
+    ];
+
     /// One-line summary of what the code means.
     pub fn summary(&self) -> &'static str {
         match self {
@@ -147,6 +196,21 @@ pub enum Severity {
     Error,
     /// Suspicious but tolerated.
     Warning,
+    /// Purely advisory; never affects exit codes, even under
+    /// `--deny-warnings`.
+    Note,
+}
+
+impl Severity {
+    /// Parses the rendered form (`"error"` / `"warning"` / `"note"`).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "error" => Some(Severity::Error),
+            "warning" => Some(Severity::Warning),
+            "note" => Some(Severity::Note),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Severity {
@@ -154,6 +218,7 @@ impl fmt::Display for Severity {
         match self {
             Severity::Error => f.write_str("error"),
             Severity::Warning => f.write_str("warning"),
+            Severity::Note => f.write_str("note"),
         }
     }
 }
@@ -185,6 +250,39 @@ pub enum Location {
     },
 }
 
+impl Location {
+    /// Decodes the JSON form emitted for diagnostics (see
+    /// [`Diagnostic::to_json`]): `null` for no location, otherwise an
+    /// object keyed by the variant's fields.
+    pub fn from_json(value: &Value) -> Result<Self, JsonError> {
+        if matches!(value, Value::Null) {
+            return Ok(Location::None);
+        }
+        if let Some(port) = value.get("port") {
+            return Ok(Location::Port {
+                symbol: SymbolId(value.usize_field("symbol")?),
+                port: port.str()?.to_string(),
+            });
+        }
+        if value.get("symbol").is_some() {
+            return Ok(Location::Symbol(SymbolId(value.usize_field("symbol")?)));
+        }
+        if value.get("net").is_some() {
+            return Ok(Location::Net(NetId(value.usize_field("net")?)));
+        }
+        if value.get("statement").is_some() {
+            return Ok(Location::Statement(value.usize_field("statement")?));
+        }
+        if value.get("line").is_some() {
+            return Ok(Location::Source {
+                line: value.usize_field("line")?,
+                col: value.usize_field("col")?,
+            });
+        }
+        Err(schema("unrecognised diagnostic location"))
+    }
+}
+
 impl fmt::Display for Location {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -195,6 +293,182 @@ impl fmt::Display for Location {
             Location::Statement(i) => write!(f, "statement {i}"),
             Location::Source { line, col } => write!(f, "{line}:{col}"),
         }
+    }
+}
+
+/// One primitive edit of a [`Fix`]. Text edits address FAS source by
+/// byte span; the structured variants address diagrams and lowered IR,
+/// which have no flat text form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixEdit {
+    /// Replace `source[start..end]` (byte offsets) with `text`. An empty
+    /// `text` deletes the span.
+    ReplaceText {
+        /// Start byte offset (inclusive).
+        start: usize,
+        /// End byte offset (exclusive).
+        end: usize,
+        /// Replacement text.
+        text: String,
+    },
+    /// Remove a diagram symbol and every net binding that references it.
+    RemoveSymbol {
+        /// The symbol to remove.
+        symbol: SymbolId,
+    },
+    /// Swap the values of two properties on a diagram symbol.
+    SwapProperties {
+        /// The symbol holding the properties.
+        symbol: SymbolId,
+        /// First property name.
+        first: String,
+        /// Second property name.
+        second: String,
+    },
+    /// Remove a diagram parameter declaration.
+    RemoveParameter {
+        /// Parameter name.
+        name: String,
+    },
+    /// Remove a lowered-IR statement (index into `CodeIr::statements`).
+    RemoveIrStatement {
+        /// Statement index.
+        index: usize,
+    },
+    /// Swap the `lo`/`hi` bounds of an IR `Limit` statement.
+    SwapIrLimitBounds {
+        /// Statement index.
+        index: usize,
+    },
+}
+
+/// A machine-applicable repair attached to a [`Diagnostic`]. All edits
+/// of one fix are applied atomically or not at all; the applier rejects
+/// fixes whose edits overlap edits already accepted in the same round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fix {
+    /// Human-readable description of what applying the fix does.
+    pub label: String,
+    /// The edits, in no particular order.
+    pub edits: Vec<FixEdit>,
+}
+
+impl Fix {
+    /// Builds a fix from a label and its edits.
+    pub fn new(label: impl Into<String>, edits: Vec<FixEdit>) -> Self {
+        Fix {
+            label: label.into(),
+            edits,
+        }
+    }
+
+    /// Machine-readable form, nested under a diagnostic's `"fix"` key.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("label".to_string(), Value::String(self.label.clone())),
+            (
+                "edits".to_string(),
+                Value::Array(self.edits.iter().map(FixEdit::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes the form produced by [`Fix::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(Fix {
+            label: value.req("label")?.str()?.to_string(),
+            edits: value
+                .req("edits")?
+                .arr()?
+                .iter()
+                .map(FixEdit::from_json)
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
+impl FixEdit {
+    /// Machine-readable form: an object with a single variant-name key.
+    pub fn to_json(&self) -> Value {
+        let tagged = |tag: &str, fields: Vec<(&str, Value)>| {
+            Value::Object(vec![(tag.to_string(), Value::object(fields))])
+        };
+        match self {
+            FixEdit::ReplaceText { start, end, text } => tagged(
+                "ReplaceText",
+                vec![
+                    ("start", Value::Number(*start as f64)),
+                    ("end", Value::Number(*end as f64)),
+                    ("text", Value::String(text.clone())),
+                ],
+            ),
+            FixEdit::RemoveSymbol { symbol } => tagged(
+                "RemoveSymbol",
+                vec![("symbol", Value::Number(symbol.0 as f64))],
+            ),
+            FixEdit::SwapProperties {
+                symbol,
+                first,
+                second,
+            } => tagged(
+                "SwapProperties",
+                vec![
+                    ("symbol", Value::Number(symbol.0 as f64)),
+                    ("first", Value::string(first)),
+                    ("second", Value::string(second)),
+                ],
+            ),
+            FixEdit::RemoveParameter { name } => {
+                tagged("RemoveParameter", vec![("name", Value::string(name))])
+            }
+            FixEdit::RemoveIrStatement { index } => tagged(
+                "RemoveIrStatement",
+                vec![("index", Value::Number(*index as f64))],
+            ),
+            FixEdit::SwapIrLimitBounds { index } => tagged(
+                "SwapIrLimitBounds",
+                vec![("index", Value::Number(*index as f64))],
+            ),
+        }
+    }
+
+    /// Decodes the form produced by [`FixEdit::to_json`].
+    pub fn from_json(value: &Value) -> Result<Self, JsonError> {
+        if let Some(v) = value.get("ReplaceText") {
+            return Ok(FixEdit::ReplaceText {
+                start: v.usize_field("start")?,
+                end: v.usize_field("end")?,
+                text: v.req("text")?.str()?.to_string(),
+            });
+        }
+        if let Some(v) = value.get("RemoveSymbol") {
+            return Ok(FixEdit::RemoveSymbol {
+                symbol: SymbolId(v.usize_field("symbol")?),
+            });
+        }
+        if let Some(v) = value.get("SwapProperties") {
+            return Ok(FixEdit::SwapProperties {
+                symbol: SymbolId(v.usize_field("symbol")?),
+                first: v.req("first")?.str()?.to_string(),
+                second: v.req("second")?.str()?.to_string(),
+            });
+        }
+        if let Some(v) = value.get("RemoveParameter") {
+            return Ok(FixEdit::RemoveParameter {
+                name: v.req("name")?.str()?.to_string(),
+            });
+        }
+        if let Some(v) = value.get("RemoveIrStatement") {
+            return Ok(FixEdit::RemoveIrStatement {
+                index: v.usize_field("index")?,
+            });
+        }
+        if let Some(v) = value.get("SwapIrLimitBounds") {
+            return Ok(FixEdit::SwapIrLimitBounds {
+                index: v.usize_field("index")?,
+            });
+        }
+        Err(schema("unrecognised fix edit"))
     }
 }
 
@@ -211,6 +485,8 @@ pub struct Diagnostic {
     pub location: Location,
     /// Explanatory notes (inference chains, cycle paths, …).
     pub notes: Vec<String>,
+    /// Machine-applicable repair, when a safe one exists.
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -222,12 +498,19 @@ impl Diagnostic {
             message: message.into(),
             location,
             notes: Vec::new(),
+            fix: None,
         }
     }
 
     /// Appends an explanatory note.
     pub fn with_note(mut self, note: impl Into<String>) -> Self {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches a machine-applicable fix.
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.fix = Some(fix);
         self
     }
 
@@ -264,7 +547,48 @@ impl Diagnostic {
                 Value::Array(self.notes.iter().cloned().map(Value::String).collect()),
             ));
         }
+        if let Some(fix) = &self.fix {
+            obj.push(("fix".to_string(), fix.to_json()));
+        }
         Value::Object(obj)
+    }
+
+    /// Decodes the form produced by [`Diagnostic::to_json`]. Used by the
+    /// incremental re-lint cache to replay stored pass results.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::Schema`] on unknown codes/severities or malformed
+    /// locations, fixes, or notes.
+    pub fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let code_str = value.req("code")?.str()?;
+        let code =
+            Code::parse(code_str).ok_or_else(|| schema(format!("unknown code '{code_str}'")))?;
+        let sev_str = value.req("severity")?.str()?;
+        let severity = Severity::parse(sev_str)
+            .ok_or_else(|| schema(format!("unknown severity '{sev_str}'")))?;
+        let message = value.req("message")?.str()?.to_string();
+        let location = Location::from_json(value.req("location")?)?;
+        let notes = match value.get("notes") {
+            None => Vec::new(),
+            Some(v) => v
+                .arr()?
+                .iter()
+                .map(|n| Ok(n.str()?.to_string()))
+                .collect::<Result<_, JsonError>>()?,
+        };
+        let fix = match value.get("fix") {
+            None => None,
+            Some(v) => Some(Fix::from_json(v)?),
+        };
+        Ok(Diagnostic {
+            code,
+            severity,
+            message,
+            location,
+            notes,
+            fix,
+        })
     }
 
     fn location_json(&self) -> Value {
@@ -298,6 +622,9 @@ impl fmt::Display for Diagnostic {
         for note in &self.notes {
             write!(f, "\n  note: {note}")?;
         }
+        if let Some(fix) = &self.fix {
+            write!(f, "\n  fix: {}", fix.label)?;
+        }
         Ok(())
     }
 }
@@ -308,37 +635,17 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        let all = [
-            Code::MultipleDrivers,
-            Code::UndrivenNet,
-            Code::UnconnectedInput,
-            Code::UnconnectedOutput,
-            Code::DisconnectedSymbol,
-            Code::MissingProperty,
-            Code::DimensionConflict,
-            Code::AlgebraicLoop,
-            Code::DeadSymbol,
-            Code::UnusedParameter,
-            Code::DegenerateLimiter,
-            Code::DimensionedFunctionInput,
-            Code::IrUseBeforeDef,
-            Code::IrDeadAssignment,
-            Code::IrConstFoldError,
-            Code::FasUseBeforeDef,
-            Code::FasUnusedVariable,
-            Code::FasDeadBranch,
-            Code::FasDivisionByZero,
-            Code::FasDomainError,
-            Code::FasDegenerateLimit,
-        ];
+        let all = Code::ALL;
         let mut strs: Vec<&str> = all.iter().map(Code::as_str).collect();
         strs.sort_unstable();
         strs.dedup();
         assert_eq!(strs.len(), all.len(), "codes must be unique");
-        for c in &all {
+        for c in all {
             assert!(c.as_str().starts_with("GABM"));
             assert!(!c.summary().is_empty());
+            assert_eq!(Code::parse(c.as_str()), Some(*c), "parse round-trip");
         }
+        assert_eq!(Code::parse("GABM999"), None);
     }
 
     #[test]
@@ -372,5 +679,91 @@ mod tests {
                 .and_then(Value::as_f64),
             Some(4.0)
         );
+    }
+
+    #[test]
+    fn diagnostic_json_round_trips_including_fix() {
+        let d = Diagnostic::new(
+            Code::FasDegenerateLimit,
+            "limit(b, 10, -10) has lo > hi",
+            Location::Source { line: 4, col: 1 },
+        )
+        .with_note("constant bounds fold to 10 > -10")
+        .with_fix(Fix::new(
+            "swap the limit bounds",
+            vec![
+                FixEdit::ReplaceText {
+                    start: 50,
+                    end: 52,
+                    text: "-10".into(),
+                },
+                FixEdit::ReplaceText {
+                    start: 54,
+                    end: 57,
+                    text: "10".into(),
+                },
+            ],
+        ));
+        let text = d.to_json().to_string();
+        let back = Diagnostic::from_json(&Value::parse(&text).expect("valid JSON")).expect("shape");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn all_locations_and_edits_round_trip() {
+        let locations = [
+            Location::None,
+            Location::Symbol(SymbolId(2)),
+            Location::Net(NetId(7)),
+            Location::Port {
+                symbol: SymbolId(1),
+                port: "in".into(),
+            },
+            Location::Statement(5),
+            Location::Source { line: 9, col: 3 },
+        ];
+        for loc in locations {
+            let d = Diagnostic::new(Code::MultipleDrivers, "m", loc.clone());
+            let back =
+                Diagnostic::from_json(&Value::parse(&d.to_json().to_string()).unwrap()).unwrap();
+            assert_eq!(back.location, loc);
+        }
+        let edits = [
+            FixEdit::ReplaceText {
+                start: 0,
+                end: 4,
+                text: "x".into(),
+            },
+            FixEdit::RemoveSymbol {
+                symbol: SymbolId(3),
+            },
+            FixEdit::SwapProperties {
+                symbol: SymbolId(1),
+                first: "min".into(),
+                second: "max".into(),
+            },
+            FixEdit::RemoveParameter { name: "tau".into() },
+            FixEdit::RemoveIrStatement { index: 4 },
+            FixEdit::SwapIrLimitBounds { index: 2 },
+        ];
+        for edit in edits {
+            let v = Value::parse(&edit.to_json().to_string()).unwrap();
+            assert_eq!(FixEdit::from_json(&v).unwrap(), edit);
+        }
+    }
+
+    #[test]
+    fn note_severity_renders_and_parses() {
+        assert_eq!(Severity::Note.to_string(), "note");
+        assert_eq!(Severity::parse("note"), Some(Severity::Note));
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn autofix_availability_matches_fixer() {
+        assert!(Code::FasDegenerateLimit.has_autofix());
+        assert!(Code::DeadSymbol.has_autofix());
+        assert!(!Code::AlgebraicLoop.has_autofix());
+        assert!(!Code::FasUseBeforeDef.has_autofix());
     }
 }

@@ -442,6 +442,92 @@ impl FunctionalDiagram {
         offset
     }
 
+    /// Removes a symbol, dropping its net bindings and any interface port
+    /// bound to it, and renumbering every higher symbol id down by one
+    /// (ids stay 1-based and dense, as generated variable names require).
+    ///
+    /// Nets that lose their last port are deleted; nets left with a
+    /// single port are kept, so an upstream driver whose only consumer
+    /// disappeared is still reported (and fixed) by the dead-symbol lint
+    /// on the next round rather than silently losing its connection.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownSymbol`] for a foreign id.
+    pub fn remove_symbol(&mut self, id: SymbolId) -> Result<(), CoreError> {
+        if id.0 == 0 || id.0 > self.symbols.len() {
+            return Err(CoreError::UnknownSymbol(id.0));
+        }
+        self.symbols.remove(id.0 - 1);
+        for sym in &mut self.symbols[id.0 - 1..] {
+            sym.id -= 1;
+        }
+        let shift = |p: &PortRef| PortRef {
+            symbol: SymbolId(p.symbol.0 - usize::from(p.symbol.0 > id.0)),
+            port: p.port,
+        };
+        for slot in &mut self.nets {
+            if let Some(net) = slot {
+                net.ports.retain(|p| p.symbol != id);
+                if net.ports.is_empty() {
+                    *slot = None;
+                } else {
+                    for p in &mut net.ports {
+                        *p = shift(p);
+                    }
+                }
+            }
+        }
+        self.interface.retain(|itf| itf.inner.symbol != id);
+        for itf in &mut self.interface {
+            itf.inner = shift(&itf.inner);
+        }
+        self.port_net.clear();
+        for net in self.nets.iter().flatten() {
+            for p in &net.ports {
+                self.port_net.insert(*p, net.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a parameter declaration by name. Returns whether a
+    /// declaration was removed. Callers are responsible for ensuring no
+    /// symbol property still references the parameter.
+    pub fn remove_parameter(&mut self, name: &str) -> bool {
+        let before = self.parameters.len();
+        self.parameters.retain(|p| p.name != name);
+        self.parameters.len() != before
+    }
+
+    /// Swaps the values of two properties on a symbol (e.g. a degenerate
+    /// limiter's `min`/`max`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownSymbol`] for a foreign id;
+    /// [`CoreError::NotFound`] if either property is absent.
+    pub fn swap_properties(
+        &mut self,
+        symbol: SymbolId,
+        first: &str,
+        second: &str,
+    ) -> Result<(), CoreError> {
+        let sym = self
+            .symbols
+            .get_mut(symbol.0.wrapping_sub(1))
+            .ok_or(CoreError::UnknownSymbol(symbol.0))?;
+        let a = sym.properties.get(first).cloned().ok_or_else(|| {
+            CoreError::NotFound(format!("property {first} on symbol {}", symbol.0))
+        })?;
+        let b = sym.properties.get(second).cloned().ok_or_else(|| {
+            CoreError::NotFound(format!("property {second} on symbol {}", symbol.0))
+        })?;
+        sym.properties.insert(first.to_string(), b);
+        sym.properties.insert(second.to_string(), a);
+        Ok(())
+    }
+
     /// Looks up an interface port by name.
     ///
     /// # Errors
@@ -599,6 +685,64 @@ mod tests {
         assert_eq!(pins.len(), 2);
         assert_eq!(pins[0].1, "a");
         assert_eq!(pins[1].0, SymbolId(3));
+    }
+
+    #[test]
+    fn remove_symbol_renumbers_and_reindexes() {
+        let mut d = FunctionalDiagram::new("rm");
+        let g1 = d.add_symbol(SymbolKind::Gain);
+        let g2 = d.add_symbol(SymbolKind::Gain);
+        let g3 = d.add_symbol(SymbolKind::Gain);
+        d.connect(d.port(g1, "out").unwrap(), d.port(g2, "in").unwrap())
+            .unwrap();
+        d.connect(d.port(g2, "out").unwrap(), d.port(g3, "in").unwrap())
+            .unwrap();
+        d.expose("u", d.port(g3, "out").unwrap()).unwrap();
+        d.remove_symbol(g2).unwrap();
+        assert_eq!(d.symbol_count(), 2);
+        assert_eq!(d.symbol(SymbolId(2)).unwrap().id, 2);
+        // Both nets survive with a single dangling port each; the old g3
+        // is now symbol 2 everywhere.
+        assert_eq!(d.nets().count(), 2);
+        for net in d.nets() {
+            assert_eq!(net.ports.len(), 1);
+            assert!(net.ports[0].symbol.0 <= 2);
+        }
+        assert_eq!(d.interface()[0].inner.symbol, SymbolId(2));
+        // Removing the last consumer empties its input net.
+        let nets_before = d.nets().count();
+        d.remove_symbol(SymbolId(2)).unwrap();
+        assert!(d.nets().count() < nets_before);
+        assert!(d.interface().is_empty());
+        assert!(d.remove_symbol(SymbolId(9)).is_err());
+    }
+
+    #[test]
+    fn remove_parameter_and_swap_properties() {
+        let mut d = FunctionalDiagram::new("rp");
+        d.add_parameter("tau", 1e-3, Dimension::NONE);
+        assert!(d.remove_parameter("tau"));
+        assert!(!d.remove_parameter("tau"));
+        let lim = d.add_symbol_with(
+            SymbolKind::Limiter,
+            &[
+                ("min", PropertyValue::Number(10.0)),
+                ("max", PropertyValue::Number(-10.0)),
+            ],
+            None,
+        );
+        d.swap_properties(lim, "min", "max").unwrap();
+        let sym = d.symbol(lim).unwrap();
+        assert_eq!(
+            sym.properties.get("min"),
+            Some(&PropertyValue::Number(-10.0))
+        );
+        assert_eq!(
+            sym.properties.get("max"),
+            Some(&PropertyValue::Number(10.0))
+        );
+        assert!(d.swap_properties(lim, "min", "zz").is_err());
+        assert!(d.swap_properties(SymbolId(9), "a", "b").is_err());
     }
 
     #[test]

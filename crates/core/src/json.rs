@@ -64,7 +64,7 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-fn schema(msg: impl Into<String>) -> JsonError {
+pub(crate) fn schema(msg: impl Into<String>) -> JsonError {
     JsonError::Schema(msg.into())
 }
 
@@ -142,19 +142,19 @@ impl Value {
         }
     }
 
-    fn num(&self) -> Result<f64, JsonError> {
+    pub(crate) fn num(&self) -> Result<f64, JsonError> {
         self.as_f64().ok_or_else(|| schema("expected a number"))
     }
 
-    fn str(&self) -> Result<&str, JsonError> {
+    pub(crate) fn str(&self) -> Result<&str, JsonError> {
         self.as_str().ok_or_else(|| schema("expected a string"))
     }
 
-    fn arr(&self) -> Result<&[Value], JsonError> {
+    pub(crate) fn arr(&self) -> Result<&[Value], JsonError> {
         self.as_array().ok_or_else(|| schema("expected an array"))
     }
 
-    fn usize_field(&self, key: &str) -> Result<usize, JsonError> {
+    pub(crate) fn usize_field(&self, key: &str) -> Result<usize, JsonError> {
         let n = self.req(key)?.num()?;
         if n < 0.0 || n.fract() != 0.0 {
             return Err(schema(format!("field '{key}' is not an unsigned integer")));

@@ -73,10 +73,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, FasError> {
         if trimmed.starts_with('*') || trimmed.starts_with('#') {
             continue;
         }
-        let line = match raw_line.find("//") {
-            Some(p) => &raw_line[..p],
-            None => raw_line,
-        };
+        // `//` trailing comments are handled in the `'/'` arm below, on
+        // the untruncated line, so every column is a byte offset into
+        // `raw_line` — positions cannot drift for tokens adjacent to a
+        // comment.
+        let line = raw_line;
         let bytes = line.as_bytes();
         let mut i = 0usize;
         while i < bytes.len() {
@@ -132,6 +133,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, FasError> {
                     i += 1;
                 }
                 '/' => {
+                    if bytes.get(i + 1) == Some(&b'/') {
+                        // Trailing comment: the rest of the line is ignored.
+                        break;
+                    }
                     out.push(Spanned {
                         token: Token::Slash,
                         pos,
@@ -339,6 +344,44 @@ mod tests {
                 Token::Ident("x".into()),
                 Token::Eq,
                 Token::Number(1.0),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_positions_adjacent_to_trailing_comments() {
+        // Columns are 1-based byte offsets into the raw line; a trailing
+        // `//` comment must not shift the position of any token before it,
+        // with or without separating whitespace.
+        let spanned = tokenize("make x = 12// note\nmake y = x / 2 // tail\n").unwrap();
+        let positions: Vec<(Token, Pos)> = spanned.into_iter().map(|s| (s.token, s.pos)).collect();
+        assert_eq!(
+            positions,
+            vec![
+                (Token::Ident("make".into()), Pos { line: 1, col: 1 }),
+                (Token::Ident("x".into()), Pos { line: 1, col: 6 }),
+                (Token::Eq, Pos { line: 1, col: 8 }),
+                (Token::Number(12.0), Pos { line: 1, col: 10 }),
+                (Token::Ident("make".into()), Pos { line: 2, col: 1 }),
+                (Token::Ident("y".into()), Pos { line: 2, col: 6 }),
+                (Token::Eq, Pos { line: 2, col: 8 }),
+                (Token::Ident("x".into()), Pos { line: 2, col: 10 }),
+                (Token::Slash, Pos { line: 2, col: 12 }),
+                (Token::Number(2.0), Pos { line: 2, col: 14 }),
+                (Token::Eof, Pos { line: 3, col: 1 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn lone_slash_still_divides() {
+        assert_eq!(
+            toks("a / b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Slash,
+                Token::Ident("b".into()),
                 Token::Eof,
             ]
         );

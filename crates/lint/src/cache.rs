@@ -1,0 +1,205 @@
+//! Incremental re-lint cache: per-pass results keyed by a content hash.
+//!
+//! Linting a large model library re-reads mostly unchanged inputs. Every
+//! pass is a pure function of its input text (diagram JSON or FAS
+//! source), so its diagnostics — fixes included — can be replayed from
+//! disk whenever the input's content hash matches. Entries live under
+//! `target/gabm-lint-cache/` (override with `GABM_LINT_CACHE_DIR`) as one
+//! JSON file per `(layer, content-hash)` pair, written with `core::json`.
+//!
+//! Invalidation is the file name: any edit to the input changes its
+//! FNV-1a hash and so misses the cache; stale entries are simply never
+//! read again. A `version` field guards against diagnostic-schema drift
+//! across toolchain versions. All I/O is best-effort — a missing,
+//! corrupt, or unwritable cache degrades to a cold run, never an error.
+
+use gabm_core::diag::Diagnostic;
+use gabm_core::json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+/// Bump when the serialized diagnostic shape changes; mismatching entries
+/// are treated as misses.
+const FORMAT_VERSION: f64 = 1.0;
+
+/// 64-bit FNV-1a hash of the input text: fast, dependency-free, and
+/// stable across runs and platforms.
+pub fn content_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pass-execution accounting for one lint run, reported in the JSON
+/// output so speedups are measurable ("passes skipped" is the metric: a
+/// warm re-lint of unchanged inputs runs zero passes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Passes actually executed.
+    pub passes_run: usize,
+    /// Passes whose stored results were replayed.
+    pub passes_skipped: usize,
+}
+
+impl CacheStats {
+    /// Total passes accounted for.
+    pub fn total(&self) -> usize {
+        self.passes_run + self.passes_skipped
+    }
+}
+
+/// The diagnostics of every pass that ran on one input, in execution
+/// order. What [`LintCache`] stores and replays.
+pub type PassResults = Vec<(String, Vec<Diagnostic>)>;
+
+/// A directory-backed per-pass result cache. A disabled cache (no
+/// directory) still counts executed passes, so `--no-cache` runs report
+/// comparable stats.
+#[derive(Debug)]
+pub struct LintCache {
+    dir: Option<PathBuf>,
+    /// Accounting across every lookup/run on this cache.
+    pub stats: CacheStats,
+}
+
+impl LintCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: PathBuf) -> Self {
+        LintCache {
+            dir: Some(dir),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache that never hits and never writes (`--no-cache`).
+    pub fn disabled() -> Self {
+        LintCache {
+            dir: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The default cache root: `$GABM_LINT_CACHE_DIR` or
+    /// `target/gabm-lint-cache` relative to the working directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("GABM_LINT_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target").join("gabm-lint-cache"))
+    }
+
+    fn entry_path(&self, layer: &str, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{layer}-{key:016x}.json")))
+    }
+
+    /// Replays the stored pass results for `(layer, key)`, if present and
+    /// well-formed. Updates the skip counter on a hit.
+    pub fn load(&mut self, layer: &str, key: u64) -> Option<PassResults> {
+        let path = self.entry_path(layer, key)?;
+        let text = fs::read_to_string(path).ok()?;
+        let value = Value::parse(&text).ok()?;
+        if value.get("version").and_then(Value::as_f64) != Some(FORMAT_VERSION) {
+            return None;
+        }
+        let mut out = Vec::new();
+        for entry in value.get("passes")?.as_array()? {
+            let name = entry.get("name")?.as_str()?.to_string();
+            let mut diags = Vec::new();
+            for d in entry.get("diagnostics")?.as_array()? {
+                diags.push(Diagnostic::from_json(d).ok()?);
+            }
+            out.push((name, diags));
+        }
+        self.stats.passes_skipped += out.len();
+        Some(out)
+    }
+
+    /// Stores the pass results for `(layer, key)`. Best-effort: failures
+    /// to create the directory or write the file are ignored.
+    pub fn store(&self, layer: &str, key: u64, passes: &PassResults) {
+        let Some(path) = self.entry_path(layer, key) else {
+            return;
+        };
+        if let Some(parent) = path.parent() {
+            if fs::create_dir_all(parent).is_err() {
+                return;
+            }
+        }
+        let value = Value::Object(vec![
+            ("version".to_string(), Value::Number(FORMAT_VERSION)),
+            (
+                "passes".to_string(),
+                Value::Array(
+                    passes
+                        .iter()
+                        .map(|(name, diags)| {
+                            Value::Object(vec![
+                                ("name".to_string(), Value::String(name.clone())),
+                                (
+                                    "diagnostics".to_string(),
+                                    Value::Array(diags.iter().map(Diagnostic::to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let _ = fs::write(path, value.to_pretty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gabm_core::diag::{Code, Fix, FixEdit, Location};
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(content_hash("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut cache = LintCache::disabled();
+        cache.store("fas", 1, &vec![("p".to_string(), Vec::new())]);
+        assert!(cache.load("fas", 1).is_none());
+        assert_eq!(cache.stats.passes_skipped, 0);
+    }
+
+    #[test]
+    fn round_trips_pass_results_with_fixes() {
+        let dir = std::env::temp_dir().join(format!("gabm-lint-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut cache = LintCache::new(dir.clone());
+        let diag = Diagnostic::new(
+            Code::FasUnusedVariable,
+            "variable 'x' is assigned but never used",
+            Location::Source { line: 3, col: 1 },
+        )
+        .with_fix(Fix::new(
+            "delete the unused assignment",
+            vec![FixEdit::ReplaceText {
+                start: 40,
+                end: 61,
+                text: String::new(),
+            }],
+        ));
+        let results: PassResults = vec![
+            ("fas-use-before-def".to_string(), Vec::new()),
+            ("fas-unused-variables".to_string(), vec![diag]),
+        ];
+        cache.store("fas", 42, &results);
+        assert_eq!(cache.load("fas", 42), Some(results));
+        assert_eq!(cache.stats.passes_skipped, 2);
+        assert!(cache.load("fas", 43).is_none(), "different key misses");
+        assert!(cache.load("diagram", 42).is_none(), "layers are separate");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -8,7 +8,7 @@
 //! generated language.
 
 use gabm_codegen::{CodeIr, IrRhs, IrStatement};
-use gabm_core::diag::{Code, Diagnostic, Location};
+use gabm_core::diag::{Code, Diagnostic, Fix, FixEdit, Location};
 use gabm_core::symbol::FuncKind;
 use std::collections::HashSet;
 
@@ -158,11 +158,17 @@ fn check_dead_assignments(ir: &CodeIr, diags: &mut Vec<Diagnostic>) {
     for (i, stmt) in ir.statements.iter().enumerate() {
         if let Some(var) = stmt.target_var() {
             if !used.contains(var) {
-                diags.push(Diagnostic::new(
-                    Code::IrDeadAssignment,
-                    format!("variable '{var}' is assigned but never read"),
-                    Location::Statement(i),
-                ));
+                diags.push(
+                    Diagnostic::new(
+                        Code::IrDeadAssignment,
+                        format!("variable '{var}' is assigned but never read"),
+                        Location::Statement(i),
+                    )
+                    .with_fix(Fix::new(
+                        format!("remove the dead assignment to '{var}'"),
+                        vec![FixEdit::RemoveIrStatement { index: i }],
+                    )),
+                );
             }
         }
     }
@@ -191,11 +197,17 @@ fn check_const_fold(ir: &CodeIr, diags: &mut Vec<Diagnostic>) {
             IrRhs::Limit { lo, hi, .. } => {
                 if let (Some(l), Some(h)) = (literal(lo), literal(hi)) {
                     if l > h {
-                        diags.push(Diagnostic::new(
-                            Code::IrConstFoldError,
-                            format!("limit interval is empty: lo {l} > hi {h}"),
-                            Location::Statement(i),
-                        ));
+                        diags.push(
+                            Diagnostic::new(
+                                Code::IrConstFoldError,
+                                format!("limit interval is empty: lo {l} > hi {h}"),
+                                Location::Statement(i),
+                            )
+                            .with_fix(Fix::new(
+                                "swap the limit bounds",
+                                vec![FixEdit::SwapIrLimitBounds { index: i }],
+                            )),
+                        );
                     }
                 }
             }

@@ -1,7 +1,27 @@
 //! Human-readable and machine-readable rendering of lint results.
 
+use crate::cache::CacheStats;
 use gabm_core::diag::{Diagnostic, Severity};
 use gabm_core::json::Value;
+
+/// Counts diagnostics by severity: `(errors, warnings, notes)`.
+///
+/// Each severity is counted explicitly — "everything that is not an error
+/// is a warning" silently misclassifies notes (and any severity added
+/// later) and once over-reported the warning total.
+pub fn summarize(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut errors = 0;
+    let mut warnings = 0;
+    let mut notes = 0;
+    for d in diags {
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+            Severity::Note => notes += 1,
+        }
+    }
+    (errors, warnings, notes)
+}
 
 /// Renders diagnostics the way a compiler prints them: one block per
 /// diagnostic, followed by a summary line.
@@ -11,26 +31,22 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
         out.push_str(&d.to_string());
         out.push('\n');
     }
-    let errors = diags
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
-    let warnings = diags.len() - errors;
+    let (errors, warnings, notes) = summarize(diags);
     if diags.is_empty() {
         out.push_str("no diagnostics\n");
+    } else if notes > 0 {
+        out.push_str(&format!(
+            "{errors} error(s), {warnings} warning(s), {notes} note(s)\n"
+        ));
     } else {
         out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
     }
     out
 }
 
-/// JSON form: `{"diagnostics": [...], "errors": n, "warnings": n}`.
+/// JSON form: `{"diagnostics": [...], "errors": n, "warnings": n, "notes": n}`.
 pub fn to_json(diags: &[Diagnostic]) -> Value {
-    let errors = diags
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
-    let warnings = diags.len() - errors;
+    let (errors, warnings, notes) = summarize(diags);
     Value::Object(vec![
         (
             "diagnostics".to_string(),
@@ -38,7 +54,34 @@ pub fn to_json(diags: &[Diagnostic]) -> Value {
         ),
         ("errors".to_string(), Value::Number(errors as f64)),
         ("warnings".to_string(), Value::Number(warnings as f64)),
+        ("notes".to_string(), Value::Number(notes as f64)),
     ])
+}
+
+/// [`to_json`] plus a `"cache"` object reporting pass-execution accounting
+/// for the run: `{"passes_total": n, "passes_run": n, "passes_skipped": n}`.
+pub fn to_json_with_cache(diags: &[Diagnostic], stats: &CacheStats) -> Value {
+    let Value::Object(mut fields) = to_json(diags) else {
+        unreachable!("to_json always returns an object");
+    };
+    fields.push((
+        "cache".to_string(),
+        Value::Object(vec![
+            (
+                "passes_total".to_string(),
+                Value::Number(stats.total() as f64),
+            ),
+            (
+                "passes_run".to_string(),
+                Value::Number(stats.passes_run as f64),
+            ),
+            (
+                "passes_skipped".to_string(),
+                Value::Number(stats.passes_skipped as f64),
+            ),
+        ]),
+    ));
+    Value::Object(fields)
 }
 
 /// [`to_json`] serialized to text.
@@ -66,6 +109,18 @@ mod tests {
         ]
     }
 
+    fn with_note() -> Vec<Diagnostic> {
+        let mut diags = sample();
+        let mut note = Diagnostic::new(
+            Code::FasDeadBranch,
+            "condition is always true; the else branch never runs".to_string(),
+            Location::Source { line: 5, col: 1 },
+        );
+        note.severity = Severity::Note;
+        diags.push(note);
+        diags
+    }
+
     #[test]
     fn text_includes_codes_and_summary() {
         let text = render_text(&sample());
@@ -80,10 +135,42 @@ mod tests {
         let v = Value::parse(&render_json(&sample())).expect("valid JSON");
         assert_eq!(v.get("errors").and_then(Value::as_f64), Some(1.0));
         assert_eq!(v.get("warnings").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("notes").and_then(Value::as_f64), Some(0.0));
         let diags = v.get("diagnostics").unwrap();
         match diags {
             Value::Array(items) => assert_eq!(items.len(), 2),
             other => panic!("expected array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn notes_are_not_counted_as_warnings() {
+        let diags = with_note();
+        let (errors, warnings, notes) = summarize(&diags);
+        assert_eq!((errors, warnings, notes), (1, 1, 1));
+        let v = to_json(&diags);
+        assert_eq!(v.get("warnings").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("notes").and_then(Value::as_f64), Some(1.0));
+        let text = render_text(&diags);
+        assert!(text.contains("1 error(s), 1 warning(s), 1 note(s)"));
+    }
+
+    #[test]
+    fn cache_stats_appear_in_json() {
+        let stats = CacheStats {
+            passes_run: 3,
+            passes_skipped: 12,
+        };
+        let v = to_json_with_cache(&sample(), &stats);
+        let cache = v.get("cache").expect("cache object");
+        assert_eq!(
+            cache.get("passes_total").and_then(Value::as_f64),
+            Some(15.0)
+        );
+        assert_eq!(cache.get("passes_run").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(
+            cache.get("passes_skipped").and_then(Value::as_f64),
+            Some(12.0)
+        );
     }
 }

@@ -19,4 +19,34 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+# Drive the fixer end to end over every FAS fixture and every built-in
+# construct: exit 2 means a usage/IO failure or a panic, and unparseable
+# JSON output means the machine interface regressed. Exit 1 (diagnostics
+# remain after fixing) is expected for fixtures with unfixable errors.
+echo "==> gabm lint --fix --dry-run smoke"
+GABM=target/release/gabm
+for f in tests/fixtures/*.fas; do
+    out=$("$GABM" lint "$f" --fix --dry-run --no-cache --format json) || status=$?
+    status=${status:-0}
+    if [ "$status" -ge 2 ]; then
+        echo "FAIL: gabm lint --fix --dry-run $f exited $status" >&2
+        exit 1
+    fi
+    case "$out" in
+        '{'*'"fix"'*) ;;
+        *) echo "FAIL: unparseable --fix output for $f: $out" >&2; exit 1 ;;
+    esac
+    status=0
+done
+for c in input-stage output-stage power-supply slew-rate; do
+    out=$("$GABM" lint --construct "$c" --fix --dry-run --no-cache --format json) || {
+        echo "FAIL: gabm lint --fix --dry-run --construct $c failed" >&2
+        exit 1
+    }
+    case "$out" in
+        '{'*'"fix"'*) ;;
+        *) echo "FAIL: unparseable --fix output for construct $c: $out" >&2; exit 1 ;;
+    esac
+done
+
 echo "CI OK"

@@ -4,21 +4,32 @@
 //!
 //! ```text
 //! gabm lint <file.fas | file.json> [--format text|json] [--deny-warnings]
+//! gabm lint <file> --fix [--dry-run]
 //! gabm lint --construct <input-stage|output-stage|power-supply|slew-rate>
 //! gabm lint --list-passes
 //! ```
 //!
-//! `.fas` files are parsed and linted as FAS source; `.json` files are
-//! deserialized as functional diagrams and linted end to end (diagram
-//! rules, then — when error-free — dataflow over the lowered IR).
+//! Diagram inputs are recognised by a case-insensitive `.json` extension
+//! *or* by content (a leading `{`), so extensionless and unconventionally
+//! named files dispatch correctly; everything else is treated as FAS
+//! source (§4.2 textual models).
+//!
+//! `--fix` applies every machine-applicable fix to a fixpoint and writes
+//! the repaired input back (`--dry-run` reports without writing).
+//! Re-lints are served from a content-hash keyed cache under
+//! `target/gabm-lint-cache/` (override with `GABM_LINT_CACHE_DIR`,
+//! disable with `--no-cache`); `--format json` reports pass-level
+//! hit statistics in a `"cache"` object.
 //!
 //! Exit status: `0` clean, `1` diagnostics found (errors always count;
 //! warnings only under `--deny-warnings`), `2` usage or I/O failure.
 
 use gabm::core::constructs::{InputStageSpec, OutputStageSpec, PowerSupplySpec, SlewRateSpec};
-use gabm::core::json::from_str;
-use gabm::lint::{lint_diagram, lint_fas_source, passes, render_json, render_text};
-use gabm::lint::{Diagnostic, Severity};
+use gabm::core::json::{from_str, to_string_pretty, Value};
+use gabm::lint::{
+    fix_diagram, fix_fas_source, lint_diagram_cached, lint_fas_source_cached, passes, render_text,
+    summarize, to_json, to_json_with_cache, Diagnostic, FixOutcome, LintCache,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -31,6 +42,10 @@ options:
                        (input-stage, output-stage, power-supply, slew-rate)
   --format <fmt>       output format: text (default) or json
   --deny-warnings      exit non-zero on warnings, not only on errors
+  --fix                apply machine-applicable fixes to a fixpoint and
+                       write the repaired input back
+  --dry-run            with --fix: report the fixes without writing
+  --no-cache           disable the content-hash re-lint cache
   --list-passes        list every registered pass and exit
 ";
 
@@ -45,6 +60,9 @@ struct LintArgs {
     format: Format,
     deny_warnings: bool,
     list_passes: bool,
+    fix: bool,
+    dry_run: bool,
+    no_cache: bool,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
@@ -54,6 +72,9 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
         format: Format::Text,
         deny_warnings: false,
         list_passes: false,
+        fix: false,
+        dry_run: false,
+        no_cache: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -72,6 +93,9 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
             }
             "--deny-warnings" => out.deny_warnings = true,
             "--list-passes" => out.list_passes = true,
+            "--fix" => out.fix = true,
+            "--dry-run" => out.dry_run = true,
+            "--no-cache" => out.no_cache = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}'"));
             }
@@ -82,6 +106,15 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
                 out.input = Some(other.to_string());
             }
         }
+    }
+    if out.dry_run && !out.fix {
+        return Err("--dry-run only makes sense with --fix".to_string());
+    }
+    if out.fix && out.construct.is_some() && !out.dry_run {
+        return Err(
+            "--fix --construct requires --dry-run (a built-in construct cannot be written back)"
+                .to_string(),
+        );
     }
     Ok(out)
 }
@@ -102,21 +135,107 @@ fn construct_diagram(name: &str) -> Result<gabm::core::FunctionalDiagram, String
     d.map_err(|e| format!("failed to build construct '{name}': {e}"))
 }
 
-fn lint_input(args: &LintArgs) -> Result<Vec<Diagnostic>, String> {
+/// `true` when the input should be linted as a diagram. The extension is
+/// checked case-insensitively, and extensionless or oddly named files are
+/// sniffed by content: diagram files are JSON objects, so a leading `{`
+/// decides (no FAS source can start with one).
+fn is_diagram_input(path: &str, text: &str) -> bool {
+    let lower = path.to_ascii_lowercase();
+    lower.ends_with(".json") || text.trim_start().starts_with('{')
+}
+
+fn make_cache(args: &LintArgs) -> LintCache {
+    if args.no_cache {
+        LintCache::disabled()
+    } else {
+        LintCache::new(LintCache::default_dir())
+    }
+}
+
+fn lint_input(args: &LintArgs, cache: &mut LintCache) -> Result<Vec<Diagnostic>, String> {
     if let Some(name) = &args.construct {
-        return Ok(lint_diagram(&construct_diagram(name)?));
+        let diagram = construct_diagram(name)?;
+        let text = to_string_pretty(&diagram);
+        return Ok(lint_diagram_cached(&diagram, &text, cache));
     }
     let Some(path) = &args.input else {
         return Err("no input file (or --construct) given".to_string());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-    if path.ends_with(".json") {
+    if is_diagram_input(path, &text) {
         let diagram: gabm::core::FunctionalDiagram =
             from_str(&text).map_err(|e| format!("'{path}' is not a diagram: {e}"))?;
-        Ok(lint_diagram(&diagram))
+        Ok(lint_diagram_cached(&diagram, &text, cache))
     } else {
-        // Default: treat as FAS source (§4.2 textual models).
-        lint_fas_source(&text).map_err(|e| format!("'{path}': {e}"))
+        lint_fas_source_cached(&text, cache).map_err(|e| format!("'{path}': {e}"))
+    }
+}
+
+/// Runs the fixer over the input; returns the outcome and whether the
+/// repaired form was written back.
+fn fix_input(args: &LintArgs) -> Result<(FixOutcome, bool), String> {
+    if let Some(name) = &args.construct {
+        let mut diagram = construct_diagram(name)?;
+        return Ok((fix_diagram(&mut diagram), false));
+    }
+    let Some(path) = &args.input else {
+        return Err("no input file (or --construct) given".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    if is_diagram_input(path, &text) {
+        let mut diagram: gabm::core::FunctionalDiagram =
+            from_str(&text).map_err(|e| format!("'{path}' is not a diagram: {e}"))?;
+        let outcome = fix_diagram(&mut diagram);
+        let write = !args.dry_run && outcome.applied > 0;
+        if write {
+            std::fs::write(path, to_string_pretty(&diagram))
+                .map_err(|e| format!("cannot write '{path}': {e}"))?;
+        }
+        Ok((outcome, write))
+    } else {
+        let (fixed, outcome) = fix_fas_source(&text).map_err(|e| format!("'{path}': {e}"))?;
+        let write = !args.dry_run && fixed != text;
+        if write {
+            std::fs::write(path, fixed).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        }
+        Ok((outcome, write))
+    }
+}
+
+/// JSON form of a fix run: the remaining diagnostics plus a `"fix"` object.
+fn fix_json(outcome: &FixOutcome, dry_run: bool, written: bool) -> Value {
+    let Value::Object(mut fields) = to_json(&outcome.remaining) else {
+        unreachable!("to_json always returns an object");
+    };
+    fields.push((
+        "fix".to_string(),
+        Value::Object(vec![
+            ("applied".to_string(), Value::Number(outcome.applied as f64)),
+            ("refused".to_string(), Value::Number(outcome.refused as f64)),
+            ("rounds".to_string(), Value::Number(outcome.rounds as f64)),
+            (
+                "fixed_codes".to_string(),
+                Value::Array(
+                    outcome
+                        .fixed_codes
+                        .iter()
+                        .map(|c| Value::String(c.as_str().to_string()))
+                        .collect(),
+                ),
+            ),
+            ("dry_run".to_string(), Value::Bool(dry_run)),
+            ("written".to_string(), Value::Bool(written)),
+        ]),
+    ));
+    Value::Object(fields)
+}
+
+fn exit_code_for(diags: &[Diagnostic], deny_warnings: bool) -> ExitCode {
+    let (errors, warnings, _notes) = summarize(diags);
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -128,22 +247,42 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
         }
         return Ok(ExitCode::SUCCESS);
     }
-    let diags = lint_input(&args)?;
+    if args.fix {
+        // The fixer re-lints mutated content every round, so the cache
+        // cannot help; every round runs fresh.
+        let (outcome, written) = fix_input(&args)?;
+        match args.format {
+            Format::Text => {
+                println!(
+                    "applied {} fix(es) in {} round(s){}{}",
+                    outcome.applied,
+                    outcome.rounds,
+                    if outcome.refused > 0 {
+                        format!(", {} refused as ambiguous/overlapping", outcome.refused)
+                    } else {
+                        String::new()
+                    },
+                    if args.dry_run {
+                        " [dry run — nothing written]"
+                    } else if written {
+                        " [input updated]"
+                    } else {
+                        ""
+                    },
+                );
+                print!("{}", render_text(&outcome.remaining));
+            }
+            Format::Json => println!("{}", fix_json(&outcome, args.dry_run, written)),
+        }
+        return Ok(exit_code_for(&outcome.remaining, args.deny_warnings));
+    }
+    let mut cache = make_cache(&args);
+    let diags = lint_input(&args, &mut cache)?;
     match args.format {
         Format::Text => print!("{}", render_text(&diags)),
-        Format::Json => println!("{}", render_json(&diags)),
+        Format::Json => println!("{}", to_json_with_cache(&diags, &cache.stats)),
     }
-    let errors = diags
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
-    let warnings = diags.len() - errors;
-    let fail = errors > 0 || (args.deny_warnings && warnings > 0);
-    Ok(if fail {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    })
+    Ok(exit_code_for(&diags, args.deny_warnings))
 }
 
 fn main() -> ExitCode {

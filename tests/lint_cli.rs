@@ -109,6 +109,107 @@ fn diagram_json_input_is_linted() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("error[GABM011]"));
 }
 
+/// Builds the degenerate-limiter diagram used by the dispatch tests.
+fn degenerate_diagram_json() -> String {
+    use gabm::core::symbol::PropertyValue;
+    use gabm::core::{FunctionalDiagram, SymbolKind};
+    let mut d = FunctionalDiagram::new("lim");
+    let c = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+    let lim = d.add_symbol_with(
+        SymbolKind::Limiter,
+        &[
+            ("min", PropertyValue::Number(5.0)),
+            ("max", PropertyValue::Number(1.0)),
+        ],
+        None,
+    );
+    d.connect(d.port(c, "out").unwrap(), d.port(lim, "in").unwrap())
+        .unwrap();
+    gabm::core::json::to_string(&d)
+}
+
+#[test]
+fn uppercase_json_extension_dispatches_as_diagram() {
+    // Regression: dispatch used to match the extension case-sensitively,
+    // so FILE.JSON fell through to the FAS parser and failed with a bogus
+    // lex error instead of being linted as a diagram.
+    let path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("UPPERCASE.JSON");
+    std::fs::write(&path, degenerate_diagram_json()).unwrap();
+    let out = gabm(&["lint", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[GABM011]"));
+}
+
+#[test]
+fn extensionless_diagram_is_sniffed_by_content() {
+    // Regression: with no extension at all, the leading '{' identifies a
+    // diagram file (no FAS source can start with one).
+    let path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("diagram_no_extension");
+    std::fs::write(&path, degenerate_diagram_json()).unwrap();
+    let out = gabm(&["lint", path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[GABM011]"));
+}
+
+fn cache_stats(args: &[&str], cache_dir: &Path) -> (f64, f64) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gabm"))
+        .args(args)
+        .env("GABM_LINT_CACHE_DIR", cache_dir)
+        .output()
+        .expect("gabm binary runs");
+    let v = Value::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let cache = v.get("cache").expect("cache stats in JSON output");
+    (
+        cache.get("passes_run").and_then(Value::as_f64).unwrap(),
+        cache.get("passes_skipped").and_then(Value::as_f64).unwrap(),
+    )
+}
+
+#[test]
+fn warm_cache_rerun_skips_every_pass() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cache_warm");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = fixture("unused_variable.fas");
+    let args = ["lint", path.to_str().unwrap(), "--format", "json"];
+    let (cold_run, cold_skipped) = cache_stats(&args, &dir);
+    assert!(cold_run >= 4.0, "cold run executes the FAS passes");
+    assert_eq!(cold_skipped, 0.0);
+    let (warm_run, warm_skipped) = cache_stats(&args, &dir);
+    assert_eq!(warm_run, 0.0, "warm re-lint executes nothing");
+    assert_eq!(warm_skipped, cold_run, "100% pass-level cache hits");
+}
+
+#[test]
+fn warm_cache_covers_diagram_and_ir_passes() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cache_construct");
+    let _ = std::fs::remove_dir_all(&dir);
+    let args = ["lint", "--construct", "input-stage", "--format", "json"];
+    let (cold_run, _) = cache_stats(&args, &dir);
+    assert!(cold_run >= 11.0, "8 diagram + 3 IR passes run cold");
+    let (warm_run, warm_skipped) = cache_stats(&args, &dir);
+    assert_eq!((warm_run, warm_skipped), (0.0, cold_run));
+}
+
+#[test]
+fn no_cache_flag_disables_the_cache() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cache_disabled");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = fixture("clean.fas");
+    let args = [
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--no-cache",
+    ];
+    let (run1, skipped1) = cache_stats(&args, &dir);
+    let (run2, skipped2) = cache_stats(&args, &dir);
+    assert_eq!((run1, skipped1), (run2, skipped2));
+    assert_eq!(skipped2, 0.0, "--no-cache never replays");
+    assert!(run2 >= 4.0);
+    assert!(!dir.exists(), "--no-cache writes nothing to disk");
+}
+
 #[test]
 fn usage_errors_exit_two() {
     let out = gabm(&["lint"]);

@@ -167,6 +167,49 @@ fn golden_gabm033_034_035_const_arithmetic() {
     assert!(matches!(lim.location, Location::Source { line: 4, .. }));
 }
 
+// ------------------------------------------------------------------ fixes
+
+#[test]
+fn golden_fix_attachment_matches_declared_availability() {
+    // Every code that declares an autofix must attach one on its golden
+    // fixture, and codes without a safe remedy must not carry a fix.
+    let mut d = FunctionalDiagram::new("lim");
+    let c = d.add_symbol(SymbolKind::Constant { value: 1.0 });
+    let lim = d.add_symbol_with(
+        SymbolKind::Limiter,
+        &[
+            ("min", PropertyValue::Number(5.0)),
+            ("max", PropertyValue::Number(1.0)),
+        ],
+        None,
+    );
+    d.connect(d.port(c, "out").unwrap(), d.port(lim, "in").unwrap())
+        .unwrap();
+    let diags = lint_diagram(&d);
+    let fix = only(&diags, Code::DegenerateLimiter)
+        .fix
+        .as_ref()
+        .expect("GABM011 carries a swap fix");
+    assert!(fix.label.contains("swap"), "{fix:?}");
+
+    let diags = lint_fas_source(&fixture("unused_variable.fas")).unwrap();
+    assert!(only(&diags, Code::FasUnusedVariable).fix.is_some());
+
+    let diags = lint_fas_source(&fixture("dead_branch.fas")).unwrap();
+    assert!(only(&diags, Code::FasDeadBranch).fix.is_some());
+
+    let diags = lint_fas_source(&fixture("const_arith.fas")).unwrap();
+    assert!(only(&diags, Code::FasDegenerateLimit).fix.is_some());
+    assert!(
+        only(&diags, Code::FasDivisionByZero).fix.is_none(),
+        "no mechanical remedy for a real arithmetic error"
+    );
+    assert!(only(&diags, Code::FasDomainError).fix.is_none());
+
+    let diags = lint_fas_source(&fixture("use_before_def.fas")).unwrap();
+    assert!(only(&diags, Code::FasUseBeforeDef).fix.is_none());
+}
+
 // ------------------------------------------------------- clean regressions
 
 #[test]
