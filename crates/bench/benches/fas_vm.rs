@@ -1,0 +1,40 @@
+//! Interpreter vs bytecode VM vs native devices on the §5 comparator
+//! transient (the E8/E9 vehicle).
+//!
+//! All three benches run the same stimulus and transient span, so the
+//! wall-clock ratios isolate the cost of the FAS execution engine:
+//! `fas_interpreter` re-walks the statement tree every Newton
+//! iteration, `fas_bytecode_vm` dispatches the pre-compiled register
+//! program, and `cmos_native` is the 11-MOS transistor baseline.
+
+use gabm_bench::experiments::comparator_bench::{
+    behavioural_comparator_circuit_with, cmos_comparator_circuit, ComparatorStimulus,
+};
+use gabm_bench::quick::BenchGroup;
+use gabm_fasvm::FasBackend;
+use gabm_sim::analysis::tran::TranSpec;
+use std::hint::black_box;
+
+const TSTOP: f64 = 60.0e-6;
+
+fn main() {
+    let stim = ComparatorStimulus::default();
+    let mut group = BenchGroup::new("fas_vm_comparator_tran");
+    group.bench_function("fas_interpreter", || {
+        let (mut ckt, _) =
+            behavioural_comparator_circuit_with(&stim, FasBackend::Interp).expect("interp bench");
+        let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
+        black_box(r.stats.newton_iterations);
+    });
+    group.bench_function("fas_bytecode_vm", || {
+        let (mut ckt, _) =
+            behavioural_comparator_circuit_with(&stim, FasBackend::Vm).expect("vm bench");
+        let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
+        black_box(r.stats.newton_iterations);
+    });
+    group.bench_function("cmos_native", || {
+        let (mut ckt, _) = cmos_comparator_circuit(&stim).expect("cmos bench");
+        let r = ckt.tran(&TranSpec::new(TSTOP)).expect("tran runs");
+        black_box(r.stats.newton_iterations);
+    });
+}

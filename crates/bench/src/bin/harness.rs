@@ -15,13 +15,15 @@
 //!   validity   range-of-validity scan (§2.4)
 //!   ablation   transient tolerance / integration-method cost sweep
 //!   bode       open-loop Bode of the behavioural opamp vs the analytic pole
+//!   fasvm      FAS interpreter vs bytecode VM vs CMOS (writes BENCH_fasvm.json)
 //!   all        everything above (default)
 //! ```
 //!
 //! SVG renderings of the diagrams are written to `figures/`.
 
 use gabm_bench::experiments::comparator_bench::{
-    behavioural_comparator_circuit, cmos_comparator_circuit, ComparatorStimulus,
+    behavioural_comparator_circuit, behavioural_comparator_circuit_with, cmos_comparator_circuit,
+    ComparatorStimulus,
 };
 use gabm_bench::experiments::constructs_bench::{diagram_dut, SlewBufferSpec};
 use gabm_charac::{check_model, rigs, validity, Bias};
@@ -89,6 +91,10 @@ fn main() {
     }
     if all || which == "bode" {
         bode();
+        ran = true;
+    }
+    if all || which == "fasvm" {
+        fasvm();
         ran = true;
     }
     if !ran {
@@ -576,4 +582,92 @@ fn gabm_charac_scaffold(
     ckt.add_resistor("RL", n_out, gabm_sim::Circuit::GROUND, 10.0e3)
         .map_err(gabm_charac::CharacError::Sim)?;
     Ok((ckt, (n_in, n_out)))
+}
+
+/// E8/E9 perf row — FAS interpreter vs bytecode VM vs CMOS baseline on
+/// the comparator transient, with the speedup recorded in
+/// `BENCH_fasvm.json` for the performance trajectory.
+fn fasvm() {
+    use gabm_fasvm::FasBackend;
+
+    banner("FAS execution backends — interpreter vs bytecode VM (comparator transient)");
+    let stim = ComparatorStimulus::default();
+    let tstop = 60.0e-6;
+    const REPS: usize = 7;
+
+    // The VM must agree with the interpreter before its time matters:
+    // compare the output waveform of one run of each.
+    let spec = gabm_models::comparator::ComparatorSpec::default();
+    let model = spec.model().expect("comparator model compiles");
+    let prog = gabm_fasvm::compile_program(&model).expect("comparator bytecode compiles");
+    let st = prog.stats();
+    println!(
+        "bytecode: {} ops, {} regs ({} vinsts lowered; {} folded, {} selects, {} dce'd)",
+        prog.op_count(),
+        prog.reg_count(),
+        st.vinsts,
+        st.folded,
+        st.selects,
+        st.dce_removed
+    );
+
+    let run = |backend: FasBackend| {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..REPS {
+            let (mut ckt, nodes) =
+                behavioural_comparator_circuit_with(&stim, backend).expect("bench builds");
+            let t0 = Instant::now();
+            let r = ckt.tran(&TranSpec::new(tstop)).expect("tran runs");
+            best = best.min(t0.elapsed().as_secs_f64());
+            let outp = nodes[3];
+            out = Some((
+                r.stats.newton_iterations,
+                r.voltage_waveform(outp).expect("outp waveform"),
+            ));
+        }
+        let (nr, w) = out.expect("at least one repetition");
+        (best, nr, w)
+    };
+    let (t_interp, nr_interp, w_interp) = run(FasBackend::Interp);
+    let (t_vm, nr_vm, w_vm) = run(FasBackend::Vm);
+    assert_eq!(
+        nr_interp, nr_vm,
+        "backends must take the same Newton trajectory"
+    );
+    let rms = w_interp.rms_difference(&w_vm).unwrap_or(f64::NAN);
+    assert!(
+        rms < 1.0e-9,
+        "interpreter and VM transient outputs diverge: rms {rms:e}"
+    );
+
+    let mut t_cmos = f64::INFINITY;
+    for _ in 0..REPS {
+        let (mut ckt, _) = cmos_comparator_circuit(&stim).expect("cmos bench");
+        let t0 = Instant::now();
+        ckt.tran(&TranSpec::new(tstop)).expect("cmos tran");
+        t_cmos = t_cmos.min(t0.elapsed().as_secs_f64());
+    }
+
+    let speedup = t_interp / t_vm;
+    println!("{:<24} {:>10} {:>12}", "engine", "NR iters", "time [s]");
+    println!(
+        "{:<24} {:>10} {:>12.4}",
+        "FAS interpreter", nr_interp, t_interp
+    );
+    println!("{:<24} {:>10} {:>12.4}", "FAS bytecode VM", nr_vm, t_vm);
+    println!("{:<24} {:>10} {:>12.4}", "CMOS (11 MOS)", "-", t_cmos);
+    println!("VM speedup over interpreter: {speedup:.2}x (outputs agree, rms {rms:.1e})");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"fasvm\",\n  \"tstop\": {tstop:e},\n  \"reps\": {REPS},\n  \
+         \"ops\": {},\n  \"regs\": {},\n  \"interp_s\": {t_interp:.6},\n  \"vm_s\": {t_vm:.6},\n  \
+         \"cmos_s\": {t_cmos:.6},\n  \"newton_iterations\": {nr_interp},\n  \
+         \"speedup_vm_over_interp\": {speedup:.4},\n  \"waveform_rms_diff\": {rms:e}\n}}\n",
+        prog.op_count(),
+        prog.reg_count()
+    );
+    if std::fs::write("BENCH_fasvm.json", &json).is_ok() {
+        println!("  [written to BENCH_fasvm.json]");
+    }
 }

@@ -4,6 +4,7 @@
 //! Used by Fig. 7 (waveform comparison) and the timing table ("ELDO needed
 //! 4.9 s … to simulate the FAS model and 15.2 s to simulate the circuit").
 
+use gabm_fasvm::FasBackend;
 use gabm_models::comparator::{ComparatorSpec, OffState};
 use gabm_models::CmosComparator;
 use gabm_sim::circuit::{Circuit, NodeId};
@@ -91,14 +92,28 @@ impl ComparatorStimulus {
     }
 }
 
-/// Builds the behavioural (FAS) comparator test bench. Returns the circuit
-/// and the nodes `(inp, inn, strobe, outp, outn)`.
+/// Builds the behavioural (FAS) comparator test bench on the
+/// interpreter backend. Returns the circuit and the nodes
+/// `(inp, inn, strobe, outp, outn)`.
 ///
 /// # Errors
 ///
 /// Model-pipeline or netlist errors.
 pub fn behavioural_comparator_circuit(
     stim: &ComparatorStimulus,
+) -> Result<(Circuit, [NodeId; 5]), SimError> {
+    behavioural_comparator_circuit_with(stim, FasBackend::Interp)
+}
+
+/// Builds the behavioural comparator test bench on a chosen FAS
+/// execution backend — tree-walking interpreter or bytecode VM.
+///
+/// # Errors
+///
+/// Model-pipeline or netlist errors.
+pub fn behavioural_comparator_circuit_with(
+    stim: &ComparatorStimulus,
+    backend: FasBackend,
 ) -> Result<(Circuit, [NodeId; 5]), SimError> {
     // `Hold` mirrors the transistor circuit's dynamic behaviour: with the
     // tail current cut, the CMOS second stage keeps its last state on the
@@ -110,7 +125,7 @@ pub fn behavioural_comparator_circuit(
         ..ComparatorSpec::default()
     };
     let machine = spec
-        .machine()
+        .instance(backend)
         .map_err(|e| SimError::BadAnalysis(e.to_string()))?;
     let mut ckt = Circuit::new();
     let inp = ckt.node("inp");
@@ -120,11 +135,7 @@ pub fn behavioural_comparator_circuit(
     let outn = ckt.node("outn");
     let vdd = ckt.node("vdd");
     let vss = ckt.node("vss");
-    ckt.add_behavioral(
-        "XCMP",
-        &[inp, inn, strobe, outp, outn, vdd, vss],
-        Box::new(machine),
-    )?;
+    ckt.add_behavioral("XCMP", &[inp, inn, strobe, outp, outn, vdd, vss], machine)?;
     ckt.add_vsource("VDD", vdd, Circuit::GROUND, SourceWave::dc(stim.supply));
     ckt.add_vsource("VSS", vss, Circuit::GROUND, SourceWave::dc(-stim.supply));
     stim.add_sources(&mut ckt, inp, inn, strobe);

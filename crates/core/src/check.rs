@@ -163,15 +163,31 @@ fn check_port_connections(d: &FunctionalDiagram, report: &mut CheckReport) {
     let exposed: Vec<PortRef> = d.interface().iter().map(|itf| itf.inner).collect();
     for sym in d.symbols() {
         let ports = sym.ports();
-        let mut any_connected = false;
-        for (idx, spec) in ports.iter().enumerate() {
-            let pr = PortRef {
-                symbol: SymbolId(sym.id),
-                port: idx,
-            };
-            let connected = d.net_of(pr).is_some() || exposed.contains(&pr);
-            any_connected |= connected;
-            if !connected && spec.direction == PortDirection::Input {
+        // Pass 1: per-port connectivity, so GABM004 below can tell
+        // whether the whole symbol drives anything.
+        let connected: Vec<bool> = (0..ports.len())
+            .map(|idx| {
+                let pr = PortRef {
+                    symbol: SymbolId(sym.id),
+                    port: idx,
+                };
+                d.net_of(pr).is_some() || exposed.contains(&pr)
+            })
+            .collect();
+        let any_connected = connected.iter().any(|&c| c);
+        // A symbol whose every output dangles is dead weight: nothing
+        // downstream can observe it, so removing it is safe. (When no
+        // port at all is connected, GABM005 below carries the removal
+        // fix instead.)
+        let fully_dead = ports
+            .iter()
+            .any(|spec| spec.direction == PortDirection::Output)
+            && ports
+                .iter()
+                .zip(&connected)
+                .all(|(spec, &conn)| spec.direction != PortDirection::Output || !conn);
+        for (spec, &conn) in ports.iter().zip(&connected) {
+            if !conn && spec.direction == PortDirection::Input {
                 report.push(Diagnostic::new(
                     Code::UnconnectedInput,
                     format!("input port '{}' of {sym} is unconnected", spec.name),
@@ -181,15 +197,24 @@ fn check_port_connections(d: &FunctionalDiagram, report: &mut CheckReport) {
                     },
                 ));
             }
-            if !connected && spec.direction == PortDirection::Output {
-                report.push(Diagnostic::new(
+            if !conn && spec.direction == PortDirection::Output {
+                let mut diag = Diagnostic::new(
                     Code::UnconnectedOutput,
                     format!("output port '{}' of {sym} is unconnected", spec.name),
                     Location::Port {
                         symbol: SymbolId(sym.id),
                         port: spec.name.clone(),
                     },
-                ));
+                );
+                if fully_dead && any_connected {
+                    diag = diag.with_fix(Fix::new(
+                        format!("remove {sym}: none of its outputs drive anything"),
+                        vec![FixEdit::RemoveSymbol {
+                            symbol: SymbolId(sym.id),
+                        }],
+                    ));
+                }
+                report.push(diag);
             }
         }
         if !any_connected && !ports.is_empty() {

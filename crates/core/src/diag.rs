@@ -118,7 +118,8 @@ impl Code {
     pub fn has_autofix(&self) -> bool {
         matches!(
             self,
-            Code::DisconnectedSymbol
+            Code::UnconnectedOutput
+                | Code::DisconnectedSymbol
                 | Code::DeadSymbol
                 | Code::UnusedParameter
                 | Code::DegenerateLimiter

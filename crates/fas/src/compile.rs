@@ -7,7 +7,8 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One-argument intrinsic functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Func1 {
+#[allow(missing_docs)]
+pub enum Func1 {
     Sin,
     Cos,
     Exp,
@@ -19,7 +20,9 @@ pub(crate) enum Func1 {
 }
 
 impl Func1 {
-    pub(crate) fn apply(self, x: f64) -> f64 {
+    /// Evaluates the intrinsic. Every consumer (interpreter, bytecode VM,
+    /// constant folders) must call this so all layers agree bit for bit.
+    pub fn apply(self, x: f64) -> f64 {
         match self {
             Func1::Sin => x.sin(),
             Func1::Cos => x.cos(),
@@ -35,14 +38,16 @@ impl Func1 {
 
 /// Two-argument intrinsic functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Func2 {
+#[allow(missing_docs)]
+pub enum Func2 {
     Min,
     Max,
     Pow,
 }
 
 impl Func2 {
-    pub(crate) fn apply(self, a: f64, b: f64) -> f64 {
+    /// Evaluates the intrinsic (value lane semantics: `f64::min`/`max`).
+    pub fn apply(self, a: f64, b: f64) -> f64 {
         match self {
             Func2::Min => a.min(b),
             Func2::Max => a.max(b),
@@ -51,9 +56,11 @@ impl Func2 {
     }
 }
 
-/// Index-resolved expression.
+/// Index-resolved expression: the executable tree form the interpreter
+/// walks and the bytecode compiler (`gabm-fasvm`) lowers further.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum CExpr {
+#[allow(missing_docs)]
+pub enum CExpr {
     Num(f64),
     Var(usize),
     Param(usize),
@@ -66,18 +73,22 @@ pub(crate) enum CExpr {
     Call1(Func1, Box<CExpr>),
     Call2(Func2, Box<CExpr>, Box<CExpr>),
     Limit(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// `state.dt(arg)` — time derivative instance `inst`.
     Dt {
         inst: usize,
         arg: Box<CExpr>,
     },
+    /// `state.delay(var)` — the committed value of `var`.
     Delay {
         var: usize,
     },
+    /// `state.delayt(var, td)` — `var` delayed by `td` seconds.
     DelayT {
         inst: usize,
         var: usize,
         td: Box<CExpr>,
     },
+    /// `state.idt(arg)` — running integral instance `inst`.
     Idt {
         inst: usize,
         arg: Box<CExpr>,
@@ -86,14 +97,16 @@ pub(crate) enum CExpr {
 
 /// Index-resolved condition.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum CCond {
+#[allow(missing_docs)]
+pub enum CCond {
     ModeIs(bool),
     Cmp(RelOp, CExpr, CExpr),
 }
 
 /// Index-resolved statement.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum CStmt {
+#[allow(missing_docs)]
+pub enum CStmt {
     Set(usize, CExpr),
     Impose(usize, CExpr),
     If(CCond, Vec<CStmt>, Vec<CStmt>),
@@ -128,15 +141,39 @@ impl CompiledModel {
         &self.params
     }
 
-    /// Instantiates the model with parameter overrides.
+    /// Variable names in slot order.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// Lowered analog body.
+    pub fn body(&self) -> &[CStmt] {
+        &self.body
+    }
+
+    /// Number of `state.dt` instances.
+    pub fn n_dt(&self) -> usize {
+        self.n_dt
+    }
+
+    /// Number of `state.delayt` instances.
+    pub fn n_delayt(&self) -> usize {
+        self.n_delayt
+    }
+
+    /// Number of `state.idt` instances.
+    pub fn n_idt(&self) -> usize {
+        self.n_idt
+    }
+
+    /// Resolves parameter overrides to a dense value vector in
+    /// declaration order. Shared by every backend that instantiates
+    /// this model so override validation stays identical.
     ///
     /// # Errors
     ///
     /// [`FasError::Instantiate`] for overrides of undeclared parameters.
-    pub fn instantiate(
-        &self,
-        overrides: &BTreeMap<String, f64>,
-    ) -> Result<crate::machine::FasMachine, FasError> {
+    pub fn param_values(&self, overrides: &BTreeMap<String, f64>) -> Result<Vec<f64>, FasError> {
         let mut values: Vec<f64> = self.params.iter().map(|(_, v)| *v).collect();
         for (name, value) in overrides {
             match self.params.iter().position(|(n, _)| n == name) {
@@ -149,6 +186,19 @@ impl CompiledModel {
                 }
             }
         }
+        Ok(values)
+    }
+
+    /// Instantiates the model with parameter overrides.
+    ///
+    /// # Errors
+    ///
+    /// [`FasError::Instantiate`] for overrides of undeclared parameters.
+    pub fn instantiate(
+        &self,
+        overrides: &BTreeMap<String, f64>,
+    ) -> Result<crate::machine::FasMachine, FasError> {
+        let values = self.param_values(overrides)?;
         Ok(crate::machine::FasMachine::new(self.clone(), values))
     }
 }

@@ -43,68 +43,10 @@ impl Dual {
         Dual { v, d }
     }
 
-    #[inline]
-    pub(crate) fn neg(self) -> Dual {
-        let mut d = self.d;
-        for x in &mut d {
-            *x = -*x;
-        }
-        Dual { v: -self.v, d }
-    }
-
-    #[inline]
-    pub(crate) fn add(self, rhs: Dual) -> Dual {
-        let mut d = self.d;
-        for (a, b) in d.iter_mut().zip(rhs.d) {
-            *a += b;
-        }
-        Dual {
-            v: self.v + rhs.v,
-            d,
-        }
-    }
-
-    #[inline]
-    pub(crate) fn sub(self, rhs: Dual) -> Dual {
-        let mut d = self.d;
-        for (a, b) in d.iter_mut().zip(rhs.d) {
-            *a -= b;
-        }
-        Dual {
-            v: self.v - rhs.v,
-            d,
-        }
-    }
-
-    #[inline]
-    pub(crate) fn mul(self, rhs: Dual) -> Dual {
-        let mut d = [0.0; MAX_TANGENTS];
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..MAX_TANGENTS {
-            d[i] = self.d[i] * rhs.v + self.v * rhs.d[i];
-        }
-        Dual {
-            v: self.v * rhs.v,
-            d,
-        }
-    }
-
-    #[inline]
-    pub(crate) fn div(self, rhs: Dual) -> Dual {
-        let inv = 1.0 / rhs.v;
-        let v = self.v * inv;
-        let mut d = [0.0; MAX_TANGENTS];
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..MAX_TANGENTS {
-            d[i] = (self.d[i] - v * rhs.d[i]) * inv;
-        }
-        Dual { v, d }
-    }
-
     /// Scales the tangent vector by `k` and maps the value by `f(v)`:
     /// the chain rule for a unary function with derivative `k` at `v`.
     #[inline]
-    pub(crate) fn chain(self, value: f64, derivative: f64) -> Dual {
+    pub fn chain(self, value: f64, derivative: f64) -> Dual {
         let mut d = self.d;
         for x in &mut d {
             *x *= derivative;
@@ -115,12 +57,92 @@ impl Dual {
     /// Scales every tangent by `k` (value unchanged semantics handled by
     /// the caller).
     #[inline]
-    pub(crate) fn scale_tangent(self, k: f64) -> Dual {
+    pub fn scale_tangent(self, k: f64) -> Dual {
         let mut d = self.d;
         for x in &mut d {
             *x *= k;
         }
         Dual { v: self.v, d }
+    }
+}
+
+impl std::ops::Neg for Dual {
+    type Output = Dual;
+
+    #[inline]
+    fn neg(self) -> Dual {
+        let mut d = self.d;
+        for x in &mut d {
+            *x = -*x;
+        }
+        Dual { v: -self.v, d }
+    }
+}
+
+impl std::ops::Add for Dual {
+    type Output = Dual;
+
+    #[inline]
+    fn add(self, rhs: Dual) -> Dual {
+        let mut d = self.d;
+        for (a, b) in d.iter_mut().zip(rhs.d) {
+            *a += b;
+        }
+        Dual {
+            v: self.v + rhs.v,
+            d,
+        }
+    }
+}
+
+impl std::ops::Sub for Dual {
+    type Output = Dual;
+
+    #[inline]
+    fn sub(self, rhs: Dual) -> Dual {
+        let mut d = self.d;
+        for (a, b) in d.iter_mut().zip(rhs.d) {
+            *a -= b;
+        }
+        Dual {
+            v: self.v - rhs.v,
+            d,
+        }
+    }
+}
+
+impl std::ops::Mul for Dual {
+    type Output = Dual;
+
+    /// Product rule.
+    #[inline]
+    fn mul(self, rhs: Dual) -> Dual {
+        let mut d = [0.0; MAX_TANGENTS];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..MAX_TANGENTS {
+            d[i] = self.d[i] * rhs.v + self.v * rhs.d[i];
+        }
+        Dual {
+            v: self.v * rhs.v,
+            d,
+        }
+    }
+}
+
+impl std::ops::Div for Dual {
+    type Output = Dual;
+
+    /// Quotient rule.
+    #[inline]
+    fn div(self, rhs: Dual) -> Dual {
+        let inv = 1.0 / rhs.v;
+        let v = self.v * inv;
+        let mut d = [0.0; MAX_TANGENTS];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..MAX_TANGENTS {
+            d[i] = (self.d[i] - v * rhs.d[i]) * inv;
+        }
+        Dual { v, d }
     }
 }
 
@@ -146,24 +168,24 @@ mod tests {
     fn arithmetic_rules() {
         let a = x(2.0);
         let b = Dual::constant(3.0);
-        assert_eq!(a.add(b).v, 5.0);
-        assert_eq!(a.add(b).d[0], 1.0);
-        assert_eq!(a.sub(b).d[0], 1.0);
-        assert_eq!(a.mul(b).v, 6.0);
-        assert_eq!(a.mul(b).d[0], 3.0);
+        assert_eq!((a + b).v, 5.0);
+        assert_eq!((a + b).d[0], 1.0);
+        assert_eq!((a - b).d[0], 1.0);
+        assert_eq!((a * b).v, 6.0);
+        assert_eq!((a * b).d[0], 3.0);
         // d/dx (x²) = 2x.
-        assert_eq!(a.mul(a).d[0], 4.0);
+        assert_eq!((a * a).d[0], 4.0);
         // d/dx (1/x) = -1/x².
-        let inv = Dual::constant(1.0).div(a);
+        let inv = Dual::constant(1.0) / a;
         assert!((inv.d[0] + 0.25).abs() < 1e-15);
-        assert_eq!(a.neg().d[0], -1.0);
+        assert_eq!((-a).d[0], -1.0);
     }
 
     #[test]
     fn quotient_rule() {
         // d/dx (x / (x+1)) = 1/(x+1)².
         let a = x(2.0);
-        let q = a.div(a.add(Dual::constant(1.0)));
+        let q = a / (a + Dual::constant(1.0));
         assert!((q.d[0] - 1.0 / 9.0).abs() < 1e-15);
     }
 
@@ -180,7 +202,7 @@ mod tests {
     fn independent_lanes() {
         let a = Dual::variable(2.0, 0);
         let b = Dual::variable(3.0, 1);
-        let p = a.mul(b);
+        let p = a * b;
         assert_eq!(p.d[0], 3.0);
         assert_eq!(p.d[1], 2.0);
         assert_eq!(p.d[2], 0.0);

@@ -56,6 +56,7 @@ pub mod lexer;
 pub mod machine;
 pub mod parser;
 pub mod printer;
+pub mod testgen;
 
 pub use compile::{compile, CompiledModel};
 pub use machine::FasMachine;

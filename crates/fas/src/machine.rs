@@ -214,7 +214,7 @@ impl Pass<'_> {
                 CStmt::Impose(pin, expr) => {
                     let v = self.eval_dual(expr);
                     let cur = self.scratch.imposed_dual[*pin];
-                    self.scratch.imposed_dual[*pin] = cur.add(v);
+                    self.scratch.imposed_dual[*pin] = cur + v;
                     self.scratch.imposed[*pin] += v.v;
                 }
                 CStmt::If(cond, then_b, else_b) => {
@@ -246,15 +246,15 @@ impl Pass<'_> {
             CExpr::Time => Dual::constant(self.ctx.time),
             CExpr::Temp => Dual::constant(self.ctx.temperature),
             CExpr::TimeStep => Dual::constant(self.dt_effective()),
-            CExpr::Neg(e) => self.eval_dual(e).neg(),
+            CExpr::Neg(e) => -self.eval_dual(e),
             CExpr::Bin(op, a, b) => {
                 let av = self.eval_dual(a);
                 let bv = self.eval_dual(b);
                 match op {
-                    crate::ast::BinOp::Add => av.add(bv),
-                    crate::ast::BinOp::Sub => av.sub(bv),
-                    crate::ast::BinOp::Mul => av.mul(bv),
-                    crate::ast::BinOp::Div => av.div(bv),
+                    crate::ast::BinOp::Add => av + bv,
+                    crate::ast::BinOp::Sub => av - bv,
+                    crate::ast::BinOp::Mul => av * bv,
+                    crate::ast::BinOp::Div => av / bv,
                 }
             }
             CExpr::Call1(f, a) => {
@@ -456,8 +456,9 @@ impl Pass<'_> {
     }
 }
 
-/// Linear interpolation into a delayed-variable history.
-fn sample_history(hist: &VecDeque<(f64, f64)>, t: f64) -> Option<f64> {
+/// Linear interpolation into a delayed-variable history. Shared with the
+/// bytecode VM so both backends resolve `state.delayt` identically.
+pub fn sample_history(hist: &VecDeque<(f64, f64)>, t: f64) -> Option<f64> {
     if hist.is_empty() {
         return None;
     }
@@ -585,8 +586,9 @@ impl BehavioralModel for FasMachine {
     }
 }
 
-/// Finds the variable delayed by `state.delayt` instance `inst`.
-fn delayt_var(body: &[CStmt], inst: usize) -> Option<usize> {
+/// Finds the variable delayed by `state.delayt` instance `inst`. Shared
+/// with the bytecode VM, which keys history commits off the same mapping.
+pub fn delayt_var(body: &[CStmt], inst: usize) -> Option<usize> {
     fn in_expr(e: &CExpr, inst: usize) -> Option<usize> {
         match e {
             CExpr::DelayT {

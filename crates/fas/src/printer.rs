@@ -60,9 +60,12 @@ fn print_expr(e: &Expr, out: &mut String) {
                 out.push(')');
             }
             out.push_str(op_txt);
-            // Right side: strictness for non-associative - and /.
-            let right_parens = precedence(b) < my_prec
-                || (precedence(b) == my_prec && matches!(op, BinOp::Sub | BinOp::Div));
+            // Right side: equal precedence always needs parens — the
+            // parser is left-associative, so `a + (b + c)` printed bare
+            // would reparse as `(a + b) + c`, a different tree (and a
+            // different float result; + and * are not associative in
+            // f64).
+            let right_parens = precedence(b) <= my_prec;
             if right_parens {
                 out.push('(');
             }

@@ -1,0 +1,238 @@
+//! Seeded random FAS model generator for cross-backend testing.
+//!
+//! Two generators share one vocabulary:
+//!
+//! - [`straight_line_source`] — small straight-line models used by the
+//!   front-end fuzz tests (parse → print → parse roundtrips, total
+//!   compilation).
+//! - [`rich_model_source`] — models exercising the *full* compiled-IR
+//!   vocabulary (every intrinsic, `limit`, all four `state.*` operators,
+//!   mode guards and relational branches, multi-pin imposes). These drive
+//!   the interpreter-vs-VM differential suite, so breadth here directly
+//!   bounds the bytecode backend's test coverage.
+//!
+//! Both are deterministic given the caller's [`Rng`] — a failing case
+//! reproduces from the seed alone.
+
+use gabm_numeric::rng::Rng;
+
+/// Pin names used by [`rich_model_source`], in declaration order.
+pub const RICH_PINS: [&str; 3] = ["a", "b", "c"];
+
+/// Parameter declarations used by [`rich_model_source`].
+pub const RICH_PARAMS: [(&str, &str); 3] = [("g", "1e-3"), ("tau", "2.0"), ("k", "0.5")];
+
+/// Expression templates for straight-line models (the historical fuzz
+/// pool; referenced variables are `v0` and pin `a`).
+pub const STRAIGHT_LINE_EXPRS: [&str; 9] = [
+    "volt.value(a)",
+    "g * v0",
+    "v0 + 1.0",
+    "limit(v0, -1.0, 1.0)",
+    "sin(time)",
+    "state.dt(v0)",
+    "state.delay(v0)",
+    "max(v0, 0.0)",
+    "-v0 / 2.0",
+];
+
+/// A small straight-line model: `v0` reads pin `a`, a random chain of
+/// derived variables follows, and `v0` is imposed back on `a`.
+pub fn straight_line_source(rng: &mut Rng) -> String {
+    let n = 1 + rng.below(7);
+    let mut body = String::from("make v0 = volt.value(a)\n");
+    for k in 0..n {
+        body.push_str(&format!(
+            "make v{} = {}\n",
+            k + 1,
+            STRAIGHT_LINE_EXPRS[rng.below(STRAIGHT_LINE_EXPRS.len())]
+        ));
+    }
+    body.push_str("make curr.on(a) = v0\n");
+    format!("model fuzz pin (a) param (g=1e-3)\nanalog\n{body}endanalog\nendmodel\n")
+}
+
+/// Literal pool: plain decimals the lexer accepts verbatim, spanning
+/// signs and magnitudes without drifting into overflow-prone territory.
+const NUMS: [&str; 8] = ["0.5", "2.0", "1.5", "0.25", "3.0", "0.1", "1.0e-3", "4.0"];
+
+const FUNC1: [&str; 8] = ["sin", "cos", "exp", "ln", "abs", "sqrt", "tanh", "atan"];
+const FUNC2: [&str; 3] = ["min", "max", "pow"];
+const RELOPS: [&str; 6] = ["=", "!=", "<", "<=", ">", ">="];
+const BINOPS: [&str; 4] = ["+", "-", "*", "/"];
+
+/// Context threaded through the recursive expression generator.
+struct GenCtx {
+    n_pins: usize,
+    /// Variables already defined (usable as operands).
+    n_vars: usize,
+    /// `state.*` operators allowed here (the generator keeps them out of
+    /// deeply nested positions only to bound state-instance counts, not
+    /// for semantic reasons — the backends must agree wherever they are).
+    allow_state: bool,
+}
+
+fn gen_expr(rng: &mut Rng, depth: usize, cx: &GenCtx) -> String {
+    // Leaves dominate as depth grows.
+    if depth == 0 || rng.below(100) < 35 {
+        return match rng.below(6) {
+            0 => NUMS[rng.below(NUMS.len())].to_string(),
+            1 if cx.n_vars > 0 => format!("v{}", rng.below(cx.n_vars)),
+            2 => {
+                let (name, _) = RICH_PARAMS[rng.below(RICH_PARAMS.len())];
+                name.to_string()
+            }
+            3 => format!("volt.value({})", RICH_PINS[rng.below(cx.n_pins)]),
+            4 => ["time", "temp", "timestep"][rng.below(3)].to_string(),
+            _ => format!("volt.value({})", RICH_PINS[rng.below(cx.n_pins)]),
+        };
+    }
+    let d = depth - 1;
+    match rng.below(12) {
+        0 => format!("-{}", gen_expr(rng, d, cx)),
+        1..=3 => format!(
+            "({} {} {})",
+            gen_expr(rng, d, cx),
+            BINOPS[rng.below(BINOPS.len())],
+            gen_expr(rng, d, cx)
+        ),
+        4 | 5 => format!(
+            "{}({})",
+            FUNC1[rng.below(FUNC1.len())],
+            gen_expr(rng, d, cx)
+        ),
+        6 => format!(
+            "{}({}, {})",
+            FUNC2[rng.below(FUNC2.len())],
+            gen_expr(rng, d, cx),
+            gen_expr(rng, d, cx)
+        ),
+        7 => format!(
+            "limit({}, {}, {})",
+            gen_expr(rng, d, cx),
+            // Ordered bounds most of the time; occasionally degenerate
+            // (lo > hi) to pin the interpreter's clamp-order semantics.
+            if rng.below(8) == 0 { "2.0" } else { "-1.0" },
+            "1.0"
+        ),
+        8 if cx.allow_state => format!("state.dt({})", gen_expr(rng, d, cx)),
+        9 if cx.allow_state && cx.n_vars > 0 => {
+            format!("state.delay(v{})", rng.below(cx.n_vars))
+        }
+        10 if cx.allow_state && cx.n_vars > 0 => {
+            // td pool covers a plain literal, a parameter, a sub-step
+            // delay and a negative value (clamped to 0 by both backends).
+            let td = ["0.5", "tau", "1.0e-3", "-1.0"][rng.below(4)];
+            format!("state.delayt(v{}, {td})", rng.below(cx.n_vars))
+        }
+        11 if cx.allow_state => format!("state.idt({})", gen_expr(rng, d, cx)),
+        _ => format!(
+            "({} {} {})",
+            gen_expr(rng, d, cx),
+            BINOPS[rng.below(BINOPS.len())],
+            gen_expr(rng, d, cx)
+        ),
+    }
+}
+
+/// A random model over the full FAS vocabulary.
+///
+/// The shape is: 1–3 pins, the fixed parameter set [`RICH_PARAMS`], a
+/// chain of 2–8 `make` statements (each may be wrapped in an
+/// `if (mode=dc)` guard or a relational branch assigning the same
+/// variable on both arms), and a current impose on every pin. Every
+/// generated model compiles; the *values* may legitimately reach
+/// NaN/±inf (e.g. `ln` of a negative intermediate), which the
+/// differential suite treats as agreement when both backends produce
+/// the same non-finite class.
+pub fn rich_model_source(rng: &mut Rng) -> String {
+    let n_pins = 1 + rng.below(RICH_PINS.len());
+    let mut body = String::new();
+    let mut cx = GenCtx {
+        n_pins,
+        n_vars: 0,
+        allow_state: true,
+    };
+    // Always define v0 from a pin so later templates have an operand.
+    body.push_str(&format!("make v0 = volt.value({})\n", RICH_PINS[0]));
+    cx.n_vars = 1;
+    let n_stmts = 2 + rng.below(7);
+    for _ in 0..n_stmts {
+        let target = cx.n_vars;
+        match rng.below(10) {
+            // Mode guard: DC arm sees simple expressions, tran arm may
+            // use state operators (the idiomatic FAS pattern).
+            0 | 1 => {
+                let dc_cx = GenCtx {
+                    n_pins: cx.n_pins,
+                    n_vars: cx.n_vars,
+                    allow_state: false,
+                };
+                let dc = gen_expr(rng, 2, &dc_cx);
+                let tran = gen_expr(rng, 2, &cx);
+                body.push_str(&format!(
+                    "if (mode=dc) then\nmake v{target} = {dc}\nelse\nmake v{target} = {tran}\nendif\n"
+                ));
+            }
+            // Relational branch assigning the same variable on both arms.
+            2 | 3 => {
+                let lhs = gen_expr(rng, 1, &cx);
+                let rhs = gen_expr(rng, 1, &cx);
+                let op = RELOPS[rng.below(RELOPS.len())];
+                let then_e = gen_expr(rng, 2, &cx);
+                let else_e = gen_expr(rng, 2, &cx);
+                body.push_str(&format!(
+                    "if ({lhs} {op} {rhs}) then\nmake v{target} = {then_e}\nelse\nmake v{target} = {else_e}\nendif\n"
+                ));
+            }
+            _ => {
+                let e = gen_expr(rng, 3, &cx);
+                body.push_str(&format!("make v{target} = {e}\n"));
+            }
+        }
+        cx.n_vars += 1;
+    }
+    // Impose a current on every pin, referencing defined variables.
+    for pin in RICH_PINS.iter().take(n_pins) {
+        let src = rng.below(cx.n_vars.min(4));
+        body.push_str(&format!("make curr.on({pin}) = (g * v{src})\n"));
+    }
+    let pins = RICH_PINS[..n_pins].join(", ");
+    let params = RICH_PARAMS
+        .iter()
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("model rich pin ({pins}) param ({params})\nanalog\n{body}endanalog\nendmodel\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn straight_line_models_compile() {
+        let mut rng = Rng::new(0xF45_0003);
+        for _ in 0..64 {
+            let src = straight_line_source(&mut rng);
+            assert!(compile(&src).is_ok(), "{src}");
+        }
+    }
+
+    #[test]
+    fn rich_models_compile() {
+        let mut rng = Rng::new(0xF45_0004);
+        for i in 0..200 {
+            let src = rich_model_source(&mut rng);
+            assert!(compile(&src).is_ok(), "case {i}:\n{src}");
+        }
+    }
+
+    #[test]
+    fn rich_models_are_deterministic() {
+        let a = rich_model_source(&mut Rng::new(42));
+        let b = rich_model_source(&mut Rng::new(42));
+        assert_eq!(a, b);
+    }
+}

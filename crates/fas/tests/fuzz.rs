@@ -2,7 +2,7 @@
 //! either a model or a diagnostic. Randomized but fully deterministic
 //! (seeded local PRNG; no external fuzzing dependency).
 
-use gabm_fas::{compile, parse, print_model};
+use gabm_fas::{compile, parse, print_model, testgen};
 use gabm_numeric::rng::Rng;
 
 /// Arbitrary text never panics the lexer/parser.
@@ -60,33 +60,32 @@ fn pipeline_total_on_fas_flavoured_text() {
 }
 
 /// Well-formed random straight-line models: parse → print → parse is an
-/// identity, and compile is total.
+/// identity, and compile is total. The generator lives in
+/// `gabm_fas::testgen` so the interpreter-vs-VM differential suite can
+/// reuse it.
 #[test]
 fn roundtrip_generated_straight_line_models() {
-    let exprs = [
-        "volt.value(a)",
-        "g * v0",
-        "v0 + 1.0",
-        "limit(v0, -1.0, 1.0)",
-        "sin(time)",
-        "state.dt(v0)",
-        "state.delay(v0)",
-        "max(v0, 0.0)",
-        "-v0 / 2.0",
-    ];
     let mut rng = Rng::new(0xF45_0003);
     for _ in 0..128 {
-        let n = 1 + rng.below(7);
-        let mut body = String::from("make v0 = volt.value(a)\n");
-        for k in 0..n {
-            body.push_str(&format!(
-                "make v{} = {}\n",
-                k + 1,
-                exprs[rng.below(exprs.len())]
-            ));
-        }
-        body.push_str("make curr.on(a) = v0\n");
-        let src = format!("model fuzz pin (a) param (g=1e-3)\nanalog\n{body}endanalog\nendmodel\n");
+        let src = testgen::straight_line_source(&mut rng);
+        let m1 = parse(&src).expect("generated model parses");
+        let printed = print_model(&m1);
+        let m2 = parse(&printed).expect("printed model parses");
+        assert_eq!(
+            m1, m2,
+            "print/parse roundtrip changed the model:\n{printed}"
+        );
+        assert!(compile(&src).is_ok(), "{src}");
+    }
+}
+
+/// The rich generator (full state/branch vocabulary) also roundtrips
+/// through the printer and always compiles.
+#[test]
+fn roundtrip_generated_rich_models() {
+    let mut rng = Rng::new(0xF45_0005);
+    for _ in 0..128 {
+        let src = testgen::rich_model_source(&mut rng);
         let m1 = parse(&src).expect("generated model parses");
         let printed = print_model(&m1);
         let m2 = parse(&printed).expect("printed model parses");

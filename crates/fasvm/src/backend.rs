@@ -1,0 +1,77 @@
+//! Per-instance backend selection: tree-walking interpreter vs bytecode
+//! VM behind one constructor.
+
+use crate::{compile_program, VmError};
+use gabm_fas::compile::CompiledModel;
+use gabm_fas::FasError;
+use gabm_sim::devices::BehavioralModel;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which execution engine a FAS model instance runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FasBackend {
+    /// The tree-walking interpreter ([`gabm_fas::FasMachine`]) — the
+    /// reference semantics, default.
+    #[default]
+    Interp,
+    /// The register-bytecode VM ([`crate::FasVm`]).
+    Vm,
+}
+
+/// Instantiation failure for either backend.
+#[derive(Debug)]
+pub enum BackendError {
+    /// Parameter-override validation failed (both backends).
+    Fas(FasError),
+    /// Bytecode compilation failed (VM backend only) — callers can
+    /// retry with [`FasBackend::Interp`].
+    Vm(VmError),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Fas(e) => write!(f, "{e}"),
+            BackendError::Vm(e) => write!(f, "bytecode compilation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<FasError> for BackendError {
+    fn from(e: FasError) -> Self {
+        BackendError::Fas(e)
+    }
+}
+
+impl From<VmError> for BackendError {
+    fn from(e: VmError) -> Self {
+        BackendError::Vm(e)
+    }
+}
+
+impl FasBackend {
+    /// Instantiates `model` on this backend as a boxed
+    /// [`BehavioralModel`], ready for
+    /// `Circuit::add_behavioral`.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] on unknown parameter overrides, or on bytecode
+    /// capacity overflow for [`FasBackend::Vm`].
+    pub fn instantiate(
+        self,
+        model: &CompiledModel,
+        overrides: &BTreeMap<String, f64>,
+    ) -> Result<Box<dyn BehavioralModel>, BackendError> {
+        match self {
+            FasBackend::Interp => Ok(Box::new(model.instantiate(overrides)?)),
+            FasBackend::Vm => {
+                let prog = compile_program(model)?;
+                Ok(Box::new(prog.instantiate(overrides)?))
+            }
+        }
+    }
+}

@@ -648,13 +648,20 @@ mod tests {
             .unwrap();
         d.connect(d.port(gen, "pin").unwrap(), d.port(pin_b, "pin").unwrap())
             .unwrap();
-        // Dead side chain: probe → limiter, limiter output unconnected.
-        // Removing the limiter (round 1) orphans parameter 'lo' (round 2).
+        // Dead side chain: probe → limiter → tail gain, tail output
+        // unconnected. The tail is removed via GABM004 (all outputs
+        // dangle), the limiter via GABM009 (transitively dead), and
+        // removing the limiter (round 1) orphans parameter 'lo'
+        // (round 2).
+        let tail = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
         d.connect(d.port(probe, "out").unwrap(), d.port(lim, "in").unwrap())
+            .unwrap();
+        d.connect(d.port(lim, "out").unwrap(), d.port(tail, "in").unwrap())
             .unwrap();
         let outcome = fix_diagram(&mut d);
         assert_eq!(outcome.rounds, 2, "{outcome:?}");
         assert!(outcome.fixed_codes.contains(&Code::DeadSymbol));
+        assert!(outcome.fixed_codes.contains(&Code::UnconnectedOutput));
         assert!(outcome.fixed_codes.contains(&Code::UnusedParameter));
         assert_eq!(d.symbol_count(), 5, "pins, probe, gain, generator survive");
         assert!(d.parameters().is_empty());

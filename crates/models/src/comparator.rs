@@ -15,7 +15,9 @@ use gabm_core::constructs::{InputStageSpec, OutputStageSpec, PowerSupplySpec, Sl
 use gabm_core::diagram::{FunctionalDiagram, PortRef, SymbolId};
 use gabm_core::quantity::Dimension;
 use gabm_core::symbol::{PropertyValue, SymbolKind};
-use gabm_fas::{compile, FasMachine};
+use gabm_fas::{compile, CompiledModel, FasMachine};
+use gabm_fasvm::FasBackend;
+use gabm_sim::devices::BehavioralModel;
 use std::collections::BTreeMap;
 
 /// Behaviour of the comparator output while the strobe is inactive.
@@ -368,15 +370,35 @@ impl ComparatorSpec {
         Ok(generate(&d, Backend::Fas)?.text)
     }
 
-    /// Compiles and instantiates the model as a simulator device.
+    /// Runs the diagram through the code generator and FAS front end,
+    /// yielding the compiled model (backend-independent).
+    ///
+    /// # Errors
+    ///
+    /// Diagram, code-generation or FAS compilation errors.
+    pub fn model(&self) -> Result<CompiledModel, ModelError> {
+        let code = self.fas_code()?;
+        Ok(compile(&code)?)
+    }
+
+    /// Compiles and instantiates the model on the tree-walking
+    /// interpreter.
     ///
     /// # Errors
     ///
     /// Any pipeline stage error.
     pub fn machine(&self) -> Result<FasMachine, ModelError> {
-        let code = self.fas_code()?;
-        let model = compile(&code)?;
-        Ok(model.instantiate(&BTreeMap::new())?)
+        Ok(self.model()?.instantiate(&BTreeMap::new())?)
+    }
+
+    /// Compiles and instantiates the model on a chosen execution
+    /// backend — interpreter or bytecode VM.
+    ///
+    /// # Errors
+    ///
+    /// Any pipeline stage error, including bytecode capacity limits.
+    pub fn instance(&self, backend: FasBackend) -> Result<Box<dyn BehavioralModel>, ModelError> {
+        Ok(backend.instantiate(&self.model()?, &BTreeMap::new())?)
     }
 
     /// Pin order of the generated model (for `add_behavioral`).

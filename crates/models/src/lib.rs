@@ -40,6 +40,8 @@ pub enum ModelError {
     Fas(gabm_fas::FasError),
     /// Netlist construction failed.
     Sim(gabm_sim::SimError),
+    /// FAS execution-backend instantiation failed.
+    Backend(gabm_fasvm::backend::BackendError),
 }
 
 impl fmt::Display for ModelError {
@@ -49,6 +51,7 @@ impl fmt::Display for ModelError {
             ModelError::Codegen(e) => write!(f, "code generation error: {e}"),
             ModelError::Fas(e) => write!(f, "FAS error: {e}"),
             ModelError::Sim(e) => write!(f, "netlist error: {e}"),
+            ModelError::Backend(e) => write!(f, "FAS backend error: {e}"),
         }
     }
 }
@@ -76,6 +79,12 @@ impl From<gabm_fas::FasError> for ModelError {
 impl From<gabm_sim::SimError> for ModelError {
     fn from(e: gabm_sim::SimError) -> Self {
         ModelError::Sim(e)
+    }
+}
+
+impl From<gabm_fasvm::backend::BackendError> for ModelError {
+    fn from(e: gabm_fasvm::backend::BackendError) -> Self {
+        ModelError::Backend(e)
     }
 }
 

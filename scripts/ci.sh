@@ -49,4 +49,20 @@ for c in input-stage output-stage power-supply slew-rate; do
     esac
 done
 
+# Bytecode VM gate: the differential suite holds the VM to ulp-scale
+# agreement with the interpreter, and the disasm golden pins the listing
+# format that `gabm compile --disasm` promises.
+echo "==> fasvm differential suite + disasm golden"
+cargo test -q -p gabm-fasvm --test differential --test disasm_golden
+
+# Perf row: interpreter vs VM vs CMOS on the comparator transient.
+# The harness asserts the backends agree and writes BENCH_fasvm.json;
+# check the speedup field made it to disk.
+echo "==> harness fasvm (BENCH_fasvm.json)"
+target/release/harness fasvm
+case "$(cat BENCH_fasvm.json)" in
+    *'"speedup_vm_over_interp"'*) ;;
+    *) echo "FAIL: BENCH_fasvm.json missing speedup field" >&2; exit 1 ;;
+esac
+
 echo "CI OK"

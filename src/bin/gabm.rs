@@ -1,12 +1,14 @@
 //! `gabm` — command-line front end for the GABM toolchain.
 //!
-//! Currently exposes the static analyser:
+//! Exposes the static analyser and the bytecode compiler:
 //!
 //! ```text
 //! gabm lint <file.fas | file.json> [--format text|json] [--deny-warnings]
 //! gabm lint <file> --fix [--dry-run]
 //! gabm lint --construct <input-stage|output-stage|power-supply|slew-rate>
 //! gabm lint --list-passes
+//! gabm compile <file.fas> [--disasm]
+//! gabm help <command> | --version
 //! ```
 //!
 //! Diagram inputs are recognised by a case-insensitive `.json` extension
@@ -32,7 +34,20 @@ use gabm::lint::{
 };
 use std::process::ExitCode;
 
-const USAGE: &str = "\
+const TOP_USAGE: &str = "\
+usage: gabm <command> [options]
+
+commands:
+  lint     static analysis of diagrams, codegen IR and FAS source
+  compile  compile a FAS model to register bytecode
+  help     show help for a command: gabm help <command>
+
+flags:
+  --version, -V   print the toolchain version
+  --help, -h      show this help
+";
+
+const LINT_USAGE: &str = "\
 usage: gabm lint <file.fas | file.json> [options]
        gabm lint --construct <name> [options]
        gabm lint --list-passes
@@ -47,6 +62,17 @@ options:
   --dry-run            with --fix: report the fixes without writing
   --no-cache           disable the content-hash re-lint cache
   --list-passes        list every registered pass and exit
+";
+
+const COMPILE_USAGE: &str = "\
+usage: gabm compile <file.fas> [options]
+
+Compiles a FAS behavioural model to register bytecode (the execution
+form used by the `FasBackend::Vm` engine) and prints a summary of the
+compiled program.
+
+options:
+  --disasm   print the full disassembled bytecode listing
 ";
 
 enum Format {
@@ -97,7 +123,7 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
             "--dry-run" => out.dry_run = true,
             "--no-cache" => out.no_cache = true,
             other if other.starts_with('-') => {
-                return Err(format!("unknown option '{other}'"));
+                return Err(format!("unknown flag '{other}'"));
             }
             other => {
                 if out.input.is_some() {
@@ -285,26 +311,112 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
     Ok(exit_code_for(&diags, args.deny_warnings))
 }
 
+/// `gabm compile <file.fas> [--disasm]`.
+fn run_compile(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<&str> = None;
+    let mut disasm = false;
+    for arg in args {
+        match arg.as_str() {
+            "--disasm" => disasm = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => {
+                if input.is_some() {
+                    return Err("more than one input file".to_string());
+                }
+                input = Some(other);
+            }
+        }
+    }
+    let Some(path) = input else {
+        return Err("no input file given".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let model = gabm::fas::compile(&text).map_err(|e| format!("'{path}': {e}"))?;
+    let prog =
+        gabm::fasvm::compile_program(&model).map_err(|e| format!("'{path}': bytecode: {e}"))?;
+    if disasm {
+        print!("{}", prog.disasm());
+    } else {
+        let stats = prog.stats();
+        println!(
+            "{}: {} pins, {} params -> {} ops in {} registers \
+             ({} vinsts lowered; {} constants folded, {} static branches, \
+             {} selects, {} dce'd)",
+            prog.name(),
+            prog.pins().len(),
+            prog.params().len(),
+            prog.op_count(),
+            prog.reg_count(),
+            stats.vinsts,
+            stats.folded,
+            stats.static_branches,
+            stats.selects,
+            stats.dce_removed
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `gabm help <command>`.
+fn run_help(argv: &[String]) -> ExitCode {
+    match argv.first().map(String::as_str) {
+        None => {
+            print!("{TOP_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("lint") => {
+            print!("{LINT_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("compile") => {
+            print!("{COMPILE_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n{TOP_USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("lint") => match run_lint(&argv[1..]) {
             Ok(code) => code,
             Err(msg) => {
-                eprintln!("error: {msg}");
+                eprintln!("error: {msg}\n{LINT_USAGE}");
                 ExitCode::from(2)
             }
         },
-        Some("--help") | Some("-h") | Some("help") => {
-            print!("{USAGE}");
+        Some("compile") => match run_compile(&argv[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{COMPILE_USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("--version") | Some("-V") => {
+            println!("gabm {}", env!("CARGO_PKG_VERSION"));
             ExitCode::SUCCESS
         }
+        Some("--help") | Some("-h") => {
+            print!("{TOP_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("help") => run_help(&argv[1..]),
+        Some(other) if other.starts_with('-') => {
+            eprintln!("error: unknown flag '{other}'\n{TOP_USAGE}");
+            ExitCode::from(2)
+        }
         Some(other) => {
-            eprintln!("error: unknown command '{other}'\n{USAGE}");
+            eprintln!("error: unknown command '{other}'\n{TOP_USAGE}");
             ExitCode::from(2)
         }
         None => {
-            eprint!("{USAGE}");
+            eprint!("{TOP_USAGE}");
             ExitCode::from(2)
         }
     }

@@ -40,6 +40,7 @@ pub use gabm_charac as charac;
 pub use gabm_codegen as codegen;
 pub use gabm_core as core;
 pub use gabm_fas as fas;
+pub use gabm_fasvm as fasvm;
 pub use gabm_lint as lint;
 pub use gabm_models as models;
 pub use gabm_numeric as numeric;

@@ -1,0 +1,131 @@
+//! End-to-end tests of `gabm compile` and the general CLI surface
+//! (`--version`, `help <cmd>`, named unknown-flag errors).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn gabm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gabm"))
+        .args(args)
+        .output()
+        .expect("gabm binary runs")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+#[test]
+fn compile_prints_program_summary() {
+    let out = gabm(&["compile", fixture("clean.fas").to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean: 2 pins"), "{stdout}");
+    assert!(stdout.contains("ops in"), "{stdout}");
+}
+
+#[test]
+fn compile_disasm_lists_bytecode() {
+    let out = gabm(&[
+        "compile",
+        fixture("clean.fas").to_str().unwrap(),
+        "--disasm",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("; model clean"), "{stdout}");
+    assert!(stdout.contains("<- pin in"), "{stdout}");
+    assert!(stdout.contains("impose out"), "{stdout}");
+}
+
+#[test]
+fn compile_reports_parse_errors() {
+    let dir = std::env::temp_dir().join("gabm_compile_cli_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.fas");
+    std::fs::write(&bad, "model broken pin (\n").unwrap();
+    let out = gabm(&["compile", bad.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.fas"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compile_missing_file_exits_two() {
+    let out = gabm(&["compile", "/nonexistent/model.fas"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot read"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn version_flag_prints_version() {
+    for flag in ["--version", "-V"] {
+        let out = gabm(&[flag]);
+        assert_eq!(exit_code(&out), 0, "{out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.starts_with("gabm ") && stdout.contains(env!("CARGO_PKG_VERSION")),
+            "{stdout}"
+        );
+    }
+}
+
+#[test]
+fn help_subcommand_shows_command_usage() {
+    let out = gabm(&["help", "compile"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("--disasm"),
+        "{out:?}"
+    );
+    let out = gabm(&["help", "lint"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("--list-passes"),
+        "{out:?}"
+    );
+    let out = gabm(&["help"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("commands:"),
+        "{out:?}"
+    );
+    let out = gabm(&["help", "frobnicate"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown command 'frobnicate'"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn unknown_flags_are_named() {
+    let out = gabm(&["--frobnicate"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag '--frobnicate'"),
+        "{out:?}"
+    );
+    let out = gabm(&["compile", "x.fas", "--wat"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag '--wat'"),
+        "{out:?}"
+    );
+    let out = gabm(&["lint", "x.fas", "--wat"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag '--wat'"),
+        "{out:?}"
+    );
+}

@@ -128,8 +128,10 @@ fn dry_run_reports_but_never_writes() {
 }
 
 /// A diagram whose every defect has an autofix: a degenerate limiter
-/// (GABM011), a fully disconnected gain (GABM005), and a dead side chain
-/// whose removal cascades into an unused parameter (GABM009 → GABM010).
+/// (GABM011), a fully disconnected gain (GABM005), and a two-deep dead
+/// side chain — the tail gain drives nothing (GABM004 removal fix), the
+/// inner gain is transitively dead (GABM009) — whose removal cascades
+/// into an unused parameter (GABM010).
 fn fixable_diagram() -> FunctionalDiagram {
     let mut d = FunctionalDiagram::new("fixable");
     d.add_parameter("k", 2.0, Dimension::NONE);
@@ -155,6 +157,7 @@ fn fixable_diagram() -> FunctionalDiagram {
         &[("a", PropertyValue::Param("k".into()))],
         None,
     );
+    let dead_tail = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
     d.connect(d.port(pin_a, "pin").unwrap(), d.port(probe, "pin").unwrap())
         .unwrap();
     d.connect(d.port(probe, "out").unwrap(), d.port(lim, "in").unwrap())
@@ -163,9 +166,14 @@ fn fixable_diagram() -> FunctionalDiagram {
         .unwrap();
     d.connect(d.port(gen, "pin").unwrap(), d.port(pin_b, "pin").unwrap())
         .unwrap();
-    // Dead chain: driven by the probe, drives nothing.
+    // Dead chain: driven by the probe, ends in a gain driving nothing.
     d.connect(d.port(probe, "out").unwrap(), d.port(dead, "in").unwrap())
         .unwrap();
+    d.connect(
+        d.port(dead, "out").unwrap(),
+        d.port(dead_tail, "in").unwrap(),
+    )
+    .unwrap();
     d
 }
 
@@ -181,7 +189,7 @@ fn diagram_file_fix_repairs_multiple_codes_in_place() {
     assert_eq!(v.get("warnings").and_then(Value::as_f64), Some(0.0));
     let report = v.get("fix").unwrap();
     let codes = fixed_codes(report);
-    for code in ["GABM005", "GABM009", "GABM010", "GABM011"] {
+    for code in ["GABM004", "GABM005", "GABM009", "GABM010", "GABM011"] {
         assert!(codes.contains(&code.to_string()), "{code} fixed: {codes:?}");
     }
     assert_eq!(report.get("written").and_then(Value::as_bool), Some(true));
@@ -190,7 +198,7 @@ fn diagram_file_fix_repairs_multiple_codes_in_place() {
     assert_eq!(exit_code(&out), 0, "{out:?}");
     let d: FunctionalDiagram =
         gabm::core::json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
-    assert_eq!(d.symbol_count(), 5, "orphan and dead gain removed");
+    assert_eq!(d.symbol_count(), 5, "orphan and both dead gains removed");
     assert!(d.parameters().is_empty(), "orphaned parameter removed");
 }
 

@@ -60,6 +60,40 @@ fn golden_gabm003_dangling_input() {
 }
 
 #[test]
+fn golden_gabm004_unconnected_output_removal_fix() {
+    // A probe whose output dangles: GABM004 fires on the port, and —
+    // because every output of the symbol is dead while its pin side is
+    // connected — it carries a remove-symbol fix. (A fully disconnected
+    // symbol is GABM005's territory and must NOT get the GABM004 fix.)
+    let mut d = FunctionalDiagram::new("dangling_out");
+    let pin = d.add_symbol(SymbolKind::Pin { name: "in".into() });
+    let probe = d.add_symbol(SymbolKind::Probe {
+        quantity: Dimension::VOLTAGE,
+    });
+    d.connect(d.port(pin, "pin").unwrap(), d.port(probe, "pin").unwrap())
+        .unwrap();
+    let diags = lint_diagram(&d);
+    let diag = only(&diags, Code::UnconnectedOutput);
+    assert_eq!(diag.severity, Severity::Warning);
+    assert!(
+        matches!(diag.location, Location::Port { .. }),
+        "GABM004 locates the port: {diag:?}"
+    );
+    let fix = diag.fix.as_ref().expect("GABM004 carries a removal fix");
+    assert!(fix.label.contains("remove"), "{fix:?}");
+
+    // Same probe, nothing connected at all: the removal fix belongs to
+    // GABM005, so GABM004 stays fixless.
+    let mut d = FunctionalDiagram::new("fully_dangling");
+    d.add_symbol(SymbolKind::Probe {
+        quantity: Dimension::VOLTAGE,
+    });
+    let diags = lint_diagram(&d);
+    assert!(only(&diags, Code::UnconnectedOutput).fix.is_none());
+    assert!(only(&diags, Code::DisconnectedSymbol).fix.is_some());
+}
+
+#[test]
 fn golden_gabm007_dimension_mix() {
     // Voltage probe wired straight into a current generator — the paper's
     // "oil and water will not mix".
@@ -208,6 +242,10 @@ fn golden_fix_attachment_matches_declared_availability() {
 
     let diags = lint_fas_source(&fixture("use_before_def.fas")).unwrap();
     assert!(only(&diags, Code::FasUseBeforeDef).fix.is_none());
+
+    // GABM004 declares an autofix (attached only when the symbol is
+    // fully dead — covered by its own golden above).
+    assert!(Code::UnconnectedOutput.has_autofix());
 }
 
 // ------------------------------------------------------- clean regressions
