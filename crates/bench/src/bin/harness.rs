@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper (see DESIGN.md §4).
 //!
 //! ```text
-//! harness [experiment]
+//! harness [--threads <n>] [experiment]
 //!   fig1       model development steps (definition card → diagram → code → simulation)
 //!   fig2       input stage: diagram + extracted Rin/Cin
 //!   fig3       output stage: diagram + extracted Rout/Ilim
@@ -16,17 +16,20 @@
 //!   ablation   transient tolerance / integration-method cost sweep
 //!   bode       open-loop Bode of the behavioural opamp vs the analytic pole
 //!   fasvm      FAS interpreter vs bytecode VM vs CMOS (writes BENCH_fasvm.json)
+//!   parchar    parallel characterization + LU reuse (writes BENCH_parchar.json)
 //!   all        everything above (default)
 //! ```
 //!
-//! SVG renderings of the diagrams are written to `figures/`.
+//! `--threads <n>` (or env `GABM_THREADS`) sizes the worker pool used by
+//! the parallel characterization flows. SVG renderings of the diagrams are
+//! written to `figures/`.
 
 use gabm_bench::experiments::comparator_bench::{
     behavioural_comparator_circuit, behavioural_comparator_circuit_with, cmos_comparator_circuit,
     ComparatorStimulus,
 };
 use gabm_bench::experiments::constructs_bench::{diagram_dut, SlewBufferSpec};
-use gabm_charac::{check_model, rigs, validity, Bias};
+use gabm_charac::{check_model_rigs, rigs, validity, Bias, RigCheck};
 use gabm_codegen::{generate, Backend};
 use gabm_core::check::check_diagram;
 use gabm_core::constructs::{InputStageSpec, OutputStageSpec, PowerSupplySpec, SlewRateSpec};
@@ -37,7 +40,39 @@ use gabm_sim::analysis::tran::TranSpec;
 use std::time::Instant;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = None;
+    while let Some(pos) = argv.iter().position(|a| a == "--threads") {
+        if pos + 1 >= argv.len() {
+            eprintln!("error: --threads requires a value");
+            std::process::exit(2);
+        }
+        let value = argv.remove(pos + 1);
+        argv.remove(pos);
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => threads = Some(n),
+            _ => {
+                eprintln!(
+                    "error: invalid value '{value}' for --threads: expected a positive integer"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let threads = match threads {
+        Some(n) => Some(n),
+        None => match gabm_par::env_threads() {
+            Ok(n) => n,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Some(n) = threads {
+        gabm_par::set_global_threads(n);
+    }
+    let which = argv.into_iter().next().unwrap_or_else(|| "all".to_string());
     let all = which == "all";
     std::fs::create_dir_all("figures").ok();
     let mut ran = false;
@@ -95,6 +130,10 @@ fn main() {
     }
     if all || which == "fasvm" {
         fasvm();
+        ran = true;
+    }
+    if all || which == "parchar" {
+        parchar();
         ran = true;
     }
     if !ran {
@@ -402,7 +441,8 @@ fn table1() {
     );
 }
 
-/// E10 / §2.4 — the model check.
+/// E10 / §2.4 — the model check. Each rig is a [`RigCheck`]; the rigs of
+/// one model run concurrently on the worker pool.
 fn modelcheck() {
     banner("Section 2.4 — model check: extracted vs assigned parameters");
     // Input stage.
@@ -410,29 +450,54 @@ fn modelcheck() {
     let cin = 5.0e-12;
     let in_spec = InputStageSpec::new("in", 1.0 / rin, cin);
     let dut = diagram_dut(&in_spec.diagram().expect("diagram")).expect("dut");
-    let x_rin = rigs::input_resistance(&dut, "in", &[]).expect("rin");
-    let x_cin = rigs::input_capacitance(&dut, "in", &[], cin).expect("cin");
-    let report = check_model(
+    let report = check_model_rigs(
         "input_stage",
-        &[(("rin", rin), &x_rin), (("cin", cin), &x_cin)],
+        &[
+            RigCheck {
+                parameter: "rin",
+                assigned: rin,
+                extract: &|| rigs::input_resistance(&dut, "in", &[]),
+            },
+            RigCheck {
+                parameter: "cin",
+                assigned: cin,
+                extract: &|| rigs::input_capacitance(&dut, "in", &[], cin),
+            },
+        ],
         0.15,
-    );
+    )
+    .expect("input-stage rigs run");
     println!("{report}\n");
-    // Slew buffer.
+    // Slew buffer. The slew rig extracts both slopes in one transient; the
+    // rise/fall checks each pick their half.
     let buffer = SlewBufferSpec::default();
     let dut = diagram_dut(&buffer.diagram().expect("diagram")).expect("dut");
-    let (x_rise, x_fall) =
-        rigs::slew_rates(&dut, "in", "out", &[], -1.0, 1.0, 40.0e-6).expect("slew");
-    let rout = rigs::output_resistance(&dut, "out", &[], 1.0e-4).expect("rout");
-    let report = check_model(
+    let slew = |pick_rise: bool| {
+        let (rise, fall) = rigs::slew_rates(&dut, "in", "out", &[], -1.0, 1.0, 40.0e-6)?;
+        Ok(if pick_rise { rise } else { fall })
+    };
+    let report = check_model_rigs(
         "slew_buffer",
         &[
-            (("srise", buffer.slew_rise), &x_rise),
-            (("sfall", buffer.slew_fall), &x_fall),
-            (("rout", 1.0 / buffer.gout), &rout),
+            RigCheck {
+                parameter: "srise",
+                assigned: buffer.slew_rise,
+                extract: &|| slew(true),
+            },
+            RigCheck {
+                parameter: "sfall",
+                assigned: buffer.slew_fall,
+                extract: &|| slew(false),
+            },
+            RigCheck {
+                parameter: "rout",
+                assigned: 1.0 / buffer.gout,
+                extract: &|| rigs::output_resistance(&dut, "out", &[], 1.0e-4),
+            },
         ],
         0.2,
-    );
+    )
+    .expect("slew-buffer rigs run");
     println!("{report}");
 }
 
@@ -669,5 +734,197 @@ fn fasvm() {
     );
     if std::fs::write("BENCH_fasvm.json", &json).is_ok() {
         println!("  [written to BENCH_fasvm.json]");
+    }
+}
+
+/// Perf row for the parallel characterization engine: Monte-Carlo over the
+/// comparator's strobe-to-decision delay at several pool sizes (bitwise
+/// identical by construction), plus the sparse-LU refactorization-reuse
+/// speedup on the 60 µs comparator transient. Writes `BENCH_parchar.json`.
+fn parchar() {
+    use gabm_charac::monte_carlo::{monte_carlo_on, Distribution, Scatter};
+    use gabm_charac::{CharacError, ThreadPool};
+    use gabm_fasvm::FasBackend;
+    use std::collections::BTreeMap;
+
+    banner("Parallel characterization + sparse-LU refactorization reuse");
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "hardware threads: {hardware_threads}, global pool: {} workers",
+        gabm_par::global().threads()
+    );
+
+    // --- Monte-Carlo: slew-rate scatter -> response-time distribution. ---
+    const SAMPLES: usize = 24;
+    const SEED: u64 = 1994;
+    const REPS: usize = 3;
+    let nominal = ComparatorSpec::default();
+    let mut scatters = BTreeMap::new();
+    scatters.insert("srise".to_string(), Scatter::new(nominal.slew_rise, 0.1));
+    scatters.insert("sfall".to_string(), Scatter::new(nominal.slew_fall, 0.1));
+    let measure = |p: &BTreeMap<String, f64>| -> Result<f64, CharacError> {
+        let spec = ComparatorSpec {
+            slew_rise: p["srise"],
+            slew_fall: p["sfall"],
+            ..ComparatorSpec::default()
+        };
+        let model = spec
+            .model()
+            .map_err(|e| CharacError::BadRig(e.to_string()))?;
+        let dut = gabm_models::dut::fas_dut(model, BTreeMap::new())
+            .map_err(|e| CharacError::BadRig(e.to_string()))?;
+        let bias = [
+            ("inp", Bias::Voltage(0.3)),
+            ("inn", Bias::Voltage(-0.3)),
+            ("outp", Bias::Open),
+            ("outn", Bias::Open),
+            ("vdd", Bias::Voltage(2.5)),
+            ("vss", Bias::Voltage(-2.5)),
+        ];
+        Ok(rigs::response_time(&dut, "strobe", "outp", &bias, -1.0, 1.0, 1.0, 40.0e-6)?.value)
+    };
+    let mc_run = |pool: &ThreadPool| {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let r = monte_carlo_on(pool, &scatters, SAMPLES, SEED, measure).expect("MC runs");
+            best = best.min(t0.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        let (dist, failures) = result.expect("at least one repetition");
+        (best, dist, failures)
+    };
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>9}",
+        "threads", "time [s]", "mean [s]", "std [s]", "failures"
+    );
+    let mut times: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut reference: Option<(Distribution, usize)> = None;
+    let assert_same = |a: &(Distribution, usize), b: &(Distribution, usize), threads: usize| {
+        assert_eq!(a.0.n, b.0.n, "sample count changed at {threads} threads");
+        assert_eq!(a.1, b.1, "failure count changed at {threads} threads");
+        for (name, x, y) in [
+            ("mean", a.0.mean, b.0.mean),
+            ("std", a.0.std_dev, b.0.std_dev),
+            ("min", a.0.min, b.0.min),
+            ("max", a.0.max, b.0.max),
+        ] {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{name} not bitwise identical at {threads} threads"
+            );
+        }
+    };
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let (t, dist, failures) = mc_run(&pool);
+        println!(
+            "{threads:<8} {t:>10.4} {:>12.4e} {:>12.4e} {failures:>9}",
+            dist.mean, dist.std_dev
+        );
+        match &reference {
+            None => reference = Some((dist, failures)),
+            Some(r) => assert_same(r, &(dist, failures), threads),
+        }
+        times.insert(threads, t);
+    }
+    // One run on the global pool (sized by --threads / GABM_THREADS): the
+    // PARCHAR-DIST fingerprint below is what ci.sh diffs across thread
+    // settings, so it must come from the pool those settings control.
+    let (_, dist, failures) = mc_run(gabm_par::global());
+    let reference = reference.expect("fixed-size runs happened");
+    assert_same(
+        &reference,
+        &(dist.clone(), failures),
+        gabm_par::global().threads(),
+    );
+    println!(
+        "PARCHAR-DIST n={} failures={} mean={:016x} std={:016x} min={:016x} max={:016x}",
+        dist.n,
+        failures,
+        dist.mean.to_bits(),
+        dist.std_dev.to_bits(),
+        dist.min.to_bits(),
+        dist.max.to_bits()
+    );
+    let speedup_mc_4t = times[&1] / times[&4];
+    println!(
+        "4-thread speedup: {speedup_mc_4t:.2}x over serial \
+         (meaningful only when hardware threads >= 4; this host has {hardware_threads})"
+    );
+
+    // --- Sparse-LU refactorization reuse on the comparator transient. ---
+    let stim = ComparatorStimulus::default();
+    let tstop = 60.0e-6;
+    const LU_REPS: usize = 7;
+    let lu_run = |force_sparse: bool, reuse: bool| {
+        let mut best = f64::INFINITY;
+        let mut stats = None;
+        for _ in 0..LU_REPS {
+            let (mut ckt, _) =
+                behavioural_comparator_circuit_with(&stim, FasBackend::Vm).expect("bench builds");
+            if force_sparse {
+                ckt.options.sparse_threshold = 1;
+            }
+            ckt.options.reuse_lu = reuse;
+            let t0 = Instant::now();
+            let r = ckt.tran(&TranSpec::new(tstop)).expect("tran runs");
+            best = best.min(t0.elapsed().as_secs_f64());
+            stats = Some(r.stats);
+        }
+        (best, stats.expect("at least one repetition"))
+    };
+    let (t_off, s_off) = lu_run(true, false);
+    let (t_on, s_on) = lu_run(true, true);
+    let (t_dense, _) = lu_run(false, true);
+    assert_eq!(
+        s_off.newton_iterations, s_on.newton_iterations,
+        "LU reuse must not change the Newton trajectory"
+    );
+    let speedup_lu = t_off / t_on;
+    println!(
+        "\n{:<30} {:>10} {:>8} {:>10}",
+        "sparse backend (threshold=1)", "time [s]", "factor", "refactor"
+    );
+    println!(
+        "{:<30} {:>10.4} {:>8} {:>10}",
+        "full factorization each iter", t_off, s_off.factorizations, s_off.refactorizations
+    );
+    println!(
+        "{:<30} {:>10.4} {:>8} {:>10}",
+        "numeric refactorization reuse", t_on, s_on.factorizations, s_on.refactorizations
+    );
+    println!(
+        "LU-reuse speedup: {speedup_lu:.2}x ({} Newton iterations; \
+         dense default path for context: {t_dense:.4} s)",
+        s_on.newton_iterations
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"parchar\",\n  \"hardware_threads\": {hardware_threads},\n  \
+         \"samples\": {SAMPLES},\n  \"seed\": {SEED},\n  \"reps\": {REPS},\n  \
+         \"mc_serial_s\": {:.6},\n  \"mc_2t_s\": {:.6},\n  \"mc_4t_s\": {:.6},\n  \
+         \"mc_8t_s\": {:.6},\n  \"speedup_mc_4t\": {speedup_mc_4t:.4},\n  \
+         \"mc_mean_s\": {:.6e},\n  \"mc_std_s\": {:.6e},\n  \"mc_failures\": {failures},\n  \
+         \"lu_reuse_off_s\": {t_off:.6},\n  \"lu_reuse_on_s\": {t_on:.6},\n  \
+         \"speedup_lu_reuse\": {speedup_lu:.4},\n  \"factorizations\": {},\n  \
+         \"refactorizations\": {},\n  \"newton_iterations\": {},\n  \
+         \"dense_default_s\": {t_dense:.6}\n}}\n",
+        times[&1],
+        times[&2],
+        times[&4],
+        times[&8],
+        dist.mean,
+        dist.std_dev,
+        s_on.factorizations,
+        s_on.refactorizations,
+        s_on.newton_iterations
+    );
+    if std::fs::write("BENCH_parchar.json", &json).is_ok() {
+        println!("  [written to BENCH_parchar.json]");
     }
 }

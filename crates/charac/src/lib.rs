@@ -25,7 +25,8 @@ pub mod monte_carlo;
 pub mod rigs;
 pub mod validity;
 
-pub use model_check::{check_model, CheckRow, ModelCheckReport};
+pub use gabm_par::ThreadPool;
+pub use model_check::{check_model, check_model_rigs, CheckRow, ModelCheckReport, RigCheck};
 
 use gabm_sim::circuit::{Circuit, NodeId};
 use gabm_sim::SimError;
@@ -35,8 +36,10 @@ use std::fmt;
 /// circuit.
 ///
 /// Implementations must be repeatable — rigs build many circuits, each with
-/// its own DUT instance.
-pub trait Dut {
+/// its own DUT instance — and `Sync`, because the characterization flows
+/// ([`monte_carlo`], [`validity`], [`check_model_rigs`]) fan rigs out over
+/// the [`ThreadPool`] and instantiate the DUT from several threads at once.
+pub trait Dut: Sync {
     /// Pin names, defining the order of `nodes` in [`Dut::instantiate`].
     fn pin_names(&self) -> Vec<String>;
 
@@ -63,7 +66,7 @@ pub struct FnDut<F> {
 
 impl<F> FnDut<F>
 where
-    F: Fn(&mut Circuit, &str, &[NodeId]) -> Result<(), SimError>,
+    F: Fn(&mut Circuit, &str, &[NodeId]) -> Result<(), SimError> + Sync,
 {
     /// Creates a DUT with the given pin names and instantiation closure.
     pub fn new(pins: &[&str], build: F) -> Self {
@@ -82,7 +85,7 @@ impl<F> fmt::Debug for FnDut<F> {
 
 impl<F> Dut for FnDut<F>
 where
-    F: Fn(&mut Circuit, &str, &[NodeId]) -> Result<(), SimError>,
+    F: Fn(&mut Circuit, &str, &[NodeId]) -> Result<(), SimError> + Sync,
 {
     fn pin_names(&self) -> Vec<String> {
         self.pins.clone()

@@ -1,6 +1,7 @@
 //! The model check: extracted vs assigned parameter values (§2.4).
 
-use crate::Extraction;
+use crate::{CharacError, Extraction};
+use gabm_par::ThreadPool;
 use std::fmt;
 
 /// One row of a model-check report.
@@ -111,6 +112,70 @@ pub fn check_model(
     }
 }
 
+/// One parameter check driven by an extraction rig: the assigned value and
+/// the rig closure that should extract it back.
+pub struct RigCheck<'a> {
+    /// Parameter name (also used for the report row).
+    pub parameter: &'a str,
+    /// Value assigned to the model instance.
+    pub assigned: f64,
+    /// Runs the extraction rig. Must be `Sync`: [`check_model_rigs`] fans
+    /// the rigs out over the thread pool.
+    pub extract: &'a (dyn Fn() -> Result<Extraction, CharacError> + Sync),
+}
+
+impl fmt::Debug for RigCheck<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RigCheck")
+            .field("parameter", &self.parameter)
+            .field("assigned", &self.assigned)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs every rig in `checks` on the global thread pool and compares the
+/// extracted values against the assigned ones via [`check_model`].
+///
+/// # Errors
+///
+/// The first failing rig (in `checks` order) aborts the check — a rig that
+/// cannot run at all is a tooling problem, not a model deviation.
+pub fn check_model_rigs(
+    model: &str,
+    checks: &[RigCheck<'_>],
+    tolerance: f64,
+) -> Result<ModelCheckReport, CharacError> {
+    check_model_rigs_on(gabm_par::global(), model, checks, tolerance)
+}
+
+/// [`check_model_rigs`] on an explicit pool.
+///
+/// Rigs run concurrently but results are compared in `checks` order, so the
+/// report (and which error wins when several rigs fail) does not depend on
+/// `pool.threads()` or scheduling.
+///
+/// # Errors
+///
+/// The first failing rig (in `checks` order) aborts the check.
+pub fn check_model_rigs_on(
+    pool: &ThreadPool,
+    model: &str,
+    checks: &[RigCheck<'_>],
+    tolerance: f64,
+) -> Result<ModelCheckReport, CharacError> {
+    let outcomes = pool.par_map(checks, |_, check| (check.extract)());
+    let mut extractions = Vec::with_capacity(checks.len());
+    for outcome in outcomes {
+        extractions.push(outcome?);
+    }
+    let pairs: Vec<((&str, f64), &Extraction)> = checks
+        .iter()
+        .zip(&extractions)
+        .map(|(check, x)| ((check.parameter, check.assigned), x))
+        .collect();
+    Ok(check_model(model, &pairs, tolerance))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +215,50 @@ mod tests {
         let report2 = check_model("m", &[(("offset", 0.0), &small)], 0.01);
         assert_eq!(report2.rows[0].rel_error, 1e-3);
         assert!(report2.passed());
+    }
+
+    #[test]
+    fn rig_checks_run_and_compare() {
+        let checks = [
+            RigCheck {
+                parameter: "rin",
+                assigned: 1.0e6,
+                extract: &|| Ok(x("rin", 1.002e6)),
+            },
+            RigCheck {
+                parameter: "rout",
+                assigned: 50.0,
+                extract: &|| Ok(x("rout", 80.0)),
+            },
+        ];
+        let report = check_model_rigs("stage", &checks, 0.05).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows[0].pass);
+        assert!(!report.rows[1].pass);
+        assert_eq!(report.failures(), 1);
+    }
+
+    #[test]
+    fn first_rig_error_in_order_wins() {
+        let checks = [
+            RigCheck {
+                parameter: "a",
+                assigned: 1.0,
+                extract: &|| Err(CharacError::ExtractionFailed("first".into())),
+            },
+            RigCheck {
+                parameter: "b",
+                assigned: 1.0,
+                extract: &|| Err(CharacError::ExtractionFailed("second".into())),
+            },
+        ];
+        // Regardless of which rig finishes first on the pool, the error
+        // reported is the first one in `checks` order.
+        for threads in [1, 2, 7] {
+            let pool = ThreadPool::new(threads);
+            let err = check_model_rigs_on(&pool, "m", &checks, 0.05).unwrap_err();
+            assert_eq!(err, CharacError::ExtractionFailed("first".into()));
+        }
     }
 
     #[test]

@@ -5,9 +5,16 @@
 //! scatter; this module samples parameter sets, re-runs an extraction per
 //! sample, and reports the distribution — the statistical view a design
 //! library needs before sign-off.
+//!
+//! Samples are independent, so the extraction runs fan out over a
+//! [`ThreadPool`](gabm_par::ThreadPool). Sample `k`'s parameter set is drawn
+//! from its own RNG stream, [`Rng::split(seed, k)`](Rng::split) — a pure
+//! function of `(seed, k)` — so the distribution is **bitwise identical** at
+//! any thread count, including the serial path.
 
 use crate::CharacError;
 use gabm_numeric::rng::Rng;
+use gabm_par::ThreadPool;
 use std::collections::BTreeMap;
 
 /// A parameter scatter specification: nominal value and relative standard
@@ -66,14 +73,31 @@ impl Distribution {
     }
 }
 
-/// Runs a Monte-Carlo analysis: `samples` parameter sets are drawn from
-/// `scatters` (deterministic with `seed`) and `measure` is invoked per set;
-/// its scalar result is aggregated into a [`Distribution`].
+/// Draws sample `k`'s parameter set. Pure in `(scatters, seed, k)`, which is
+/// what makes the parallel fan-out deterministic.
+fn draw_params(scatters: &BTreeMap<String, Scatter>, seed: u64, k: usize) -> BTreeMap<String, f64> {
+    let mut rng = Rng::split(seed, k as u64);
+    let mut params = BTreeMap::new();
+    for (name, sc) in scatters {
+        // Uniform over ±3σ: bounded support keeps rigs out of absurd
+        // corners while matching the requested dispersion scale.
+        let span = 3.0 * sc.rel_sigma * sc.nominal;
+        let value = sc.nominal + rng.symmetric() * span;
+        params.insert(name.clone(), value);
+    }
+    params
+}
+
+/// Runs a Monte-Carlo analysis on the global thread pool: `samples`
+/// parameter sets are drawn from `scatters` (deterministic with `seed`) and
+/// `measure` is invoked per set; its scalar result is aggregated into a
+/// [`Distribution`].
 ///
 /// `measure` failures are counted but excluded from the statistics (a
 /// corner that fails to converge is itself a finding).
 ///
-/// Returns the distribution and the number of failed samples.
+/// Returns the distribution and the number of failed samples. The result is
+/// bitwise identical at any thread count (see [`monte_carlo_on`]).
 ///
 /// # Errors
 ///
@@ -82,24 +106,35 @@ pub fn monte_carlo(
     scatters: &BTreeMap<String, Scatter>,
     samples: usize,
     seed: u64,
-    mut measure: impl FnMut(&BTreeMap<String, f64>) -> Result<f64, CharacError>,
+    measure: impl Fn(&BTreeMap<String, f64>) -> Result<f64, CharacError> + Sync,
+) -> Result<(Distribution, usize), CharacError> {
+    monte_carlo_on(gabm_par::global(), scatters, samples, seed, measure)
+}
+
+/// [`monte_carlo`] on an explicit pool (e.g. for thread-scaling benchmarks).
+///
+/// Sample `k` is measured against parameters drawn from the split stream
+/// `Rng::split(seed, k)` and results are aggregated in sample order, so the
+/// outcome does not depend on `pool.threads()` or scheduling.
+///
+/// # Errors
+///
+/// [`CharacError::BadRig`] if no sample succeeds or `samples == 0`.
+pub fn monte_carlo_on(
+    pool: &ThreadPool,
+    scatters: &BTreeMap<String, Scatter>,
+    samples: usize,
+    seed: u64,
+    measure: impl Fn(&BTreeMap<String, f64>) -> Result<f64, CharacError> + Sync,
 ) -> Result<(Distribution, usize), CharacError> {
     if samples == 0 {
         return Err(CharacError::BadRig("need at least one sample".into()));
     }
-    let mut rng = Rng::new(seed);
+    let outcomes = pool.par_map_n(samples, |k| measure(&draw_params(scatters, seed, k)));
     let mut values = Vec::with_capacity(samples);
     let mut failures = 0usize;
-    for _ in 0..samples {
-        let mut params = BTreeMap::new();
-        for (name, sc) in scatters {
-            // Uniform over ±3σ: bounded support keeps rigs out of absurd
-            // corners while matching the requested dispersion scale.
-            let span = 3.0 * sc.rel_sigma * sc.nominal;
-            let value = sc.nominal + rng.symmetric() * span;
-            params.insert(name.clone(), value);
-        }
-        match measure(&params) {
+    for outcome in outcomes {
+        match outcome {
             Ok(v) => values.push(v),
             Err(_) => failures += 1,
         }
@@ -185,5 +220,17 @@ mod tests {
             Err::<f64, _>(CharacError::ExtractionFailed("x".into()))
         });
         assert!(all_fail.is_err());
+    }
+
+    #[test]
+    fn pool_size_does_not_change_the_distribution() {
+        let scatters = scatter_of("x", 1.0, 0.1);
+        let run = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            monte_carlo_on(&pool, &scatters, 33, 17, |p| Ok(p["x"])).unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(7));
     }
 }

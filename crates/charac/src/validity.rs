@@ -2,6 +2,7 @@
 //! determine the range of validity of models").
 
 use crate::CharacError;
+use gabm_par::ThreadPool;
 
 /// Result of a validity scan over one stimulus axis.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +15,12 @@ pub struct ValidityRange {
     pub hi: f64,
     /// Number of probe evaluations performed.
     pub evaluations: usize,
+    /// Number of grid points where the probe itself failed (e.g. the rig
+    /// simulation did not converge). Failed points count as *invalid* —
+    /// a corner the model cannot even simulate is outside its validity
+    /// range — mirroring the failure accounting of
+    /// [`monte_carlo`](crate::monte_carlo::monte_carlo).
+    pub failures: usize,
 }
 
 impl ValidityRange {
@@ -23,23 +30,46 @@ impl ValidityRange {
     }
 }
 
-/// Scans `probe` over a logarithmic grid from `lo` to `hi` and returns the
-/// contiguous valid range around the first valid point.
+/// Scans `probe` over a logarithmic grid from `lo` to `hi` on the global
+/// thread pool and returns the longest contiguous valid range.
 ///
 /// `probe(x)` returns the model's relative deviation from its expectation at
-/// stimulus `x`; a point is *valid* when the deviation is `<= tol`.
+/// stimulus `x`; a point is *valid* when the deviation is `<= tol`. A probe
+/// error does **not** abort the scan: the point is recorded as invalid and
+/// counted in [`ValidityRange::failures`].
 ///
 /// # Errors
 ///
-/// * [`CharacError::BadRig`] for inconsistent bounds.
-/// * Propagates probe errors.
+/// [`CharacError::BadRig`] for inconsistent bounds.
 pub fn scan_validity(
     axis: &str,
     lo: f64,
     hi: f64,
     points: usize,
     tol: f64,
-    mut probe: impl FnMut(f64) -> Result<f64, CharacError>,
+    probe: impl Fn(f64) -> Result<f64, CharacError> + Sync,
+) -> Result<ValidityRange, CharacError> {
+    scan_validity_on(gabm_par::global(), axis, lo, hi, points, tol, probe)
+}
+
+/// [`scan_validity`] on an explicit pool (e.g. for thread-scaling
+/// benchmarks).
+///
+/// Each grid point is a pure function of the scan bounds and its index, and
+/// the valid/invalid verdicts are combined in grid order, so the result does
+/// not depend on `pool.threads()` or scheduling.
+///
+/// # Errors
+///
+/// [`CharacError::BadRig`] for inconsistent bounds.
+pub fn scan_validity_on(
+    pool: &ThreadPool,
+    axis: &str,
+    lo: f64,
+    hi: f64,
+    points: usize,
+    tol: f64,
+    probe: impl Fn(f64) -> Result<f64, CharacError> + Sync,
 ) -> Result<ValidityRange, CharacError> {
     if !(lo > 0.0 && hi > lo && points >= 2) {
         return Err(CharacError::BadRig(format!(
@@ -49,13 +79,18 @@ pub fn scan_validity(
     let grid: Vec<f64> = (0..points)
         .map(|k| lo * (hi / lo).powf(k as f64 / (points - 1) as f64))
         .collect();
-    let mut evaluations = 0usize;
-    let mut valid: Vec<bool> = Vec::with_capacity(points);
-    for &x in &grid {
-        let dev = probe(x)?;
-        evaluations += 1;
-        valid.push(dev <= tol);
-    }
+    let outcomes = pool.par_map(&grid, |_, &x| probe(x));
+    let mut failures = 0usize;
+    let valid: Vec<bool> = outcomes
+        .into_iter()
+        .map(|outcome| match outcome {
+            Ok(dev) => dev <= tol,
+            Err(_) => {
+                failures += 1;
+                false
+            }
+        })
+        .collect();
     // Find the longest contiguous valid run.
     let mut best: Option<(usize, usize)> = None;
     let mut start: Option<usize> = None;
@@ -83,13 +118,15 @@ pub fn scan_validity(
             axis: axis.to_string(),
             lo: grid[s],
             hi: grid[e - 1],
-            evaluations,
+            evaluations: points,
+            failures,
         }),
         None => Ok(ValidityRange {
             axis: axis.to_string(),
             lo: f64::INFINITY,
             hi: f64::NEG_INFINITY,
-            evaluations,
+            evaluations: points,
+            failures,
         }),
     }
 }
@@ -111,6 +148,7 @@ mod tests {
             r.hi
         );
         assert_eq!(r.evaluations, 61);
+        assert_eq!(r.failures, 0);
     }
 
     #[test]
@@ -145,10 +183,38 @@ mod tests {
     }
 
     #[test]
-    fn probe_errors_propagate() {
+    fn probe_failures_count_as_invalid_points() {
+        // Regression: a probe error used to abort the whole scan. A failed
+        // grid point must instead bound the valid range, like any other
+        // invalid point.
+        let r = scan_validity("x", 1.0, 100.0, 21, 0.1, |x| {
+            if x > 30.0 {
+                Err(CharacError::ExtractionFailed("no convergence".into()))
+            } else {
+                Ok(0.0)
+            }
+        })
+        .unwrap();
+        assert!(r.is_valid_anywhere());
+        assert_eq!(r.lo, 1.0);
+        assert!(r.hi <= 30.0, "hi = {}", r.hi);
+        assert_eq!(r.evaluations, 21);
+        assert!(r.failures > 0);
+        // Count of failing grid points: x > 30 on the 21-point log grid.
+        let expected = (0..21)
+            .filter(|&k| 100.0f64.powf(k as f64 / 20.0) > 30.0)
+            .count();
+        assert_eq!(r.failures, expected);
+    }
+
+    #[test]
+    fn all_probes_failing_is_nowhere_valid() {
         let r = scan_validity("x", 1.0, 10.0, 3, 0.1, |_| {
-            Err(CharacError::ExtractionFailed("boom".into()))
-        });
-        assert!(r.is_err());
+            Err::<f64, _>(CharacError::ExtractionFailed("boom".into()))
+        })
+        .unwrap();
+        assert!(!r.is_valid_anywhere());
+        assert_eq!(r.failures, 3);
+        assert_eq!(r.evaluations, 3);
     }
 }

@@ -1,0 +1,156 @@
+//! Bitwise determinism of the parallel characterization flows: the same
+//! seed must produce the same bits at any thread count, because per-sample
+//! RNG streams are split from the seed rather than drawn sequentially.
+
+use gabm_charac::monte_carlo::{monte_carlo_on, Distribution, Scatter};
+use gabm_charac::validity::scan_validity_on;
+use gabm_charac::{rigs, CharacError, FnDut, ThreadPool};
+use gabm_sim::devices::{DiodeParams, SourceWave};
+use gabm_sim::Circuit;
+use std::collections::BTreeMap;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn bits(d: &Distribution) -> (usize, u64, u64, u64, u64) {
+    (
+        d.n,
+        d.mean.to_bits(),
+        d.std_dev.to_bits(),
+        d.min.to_bits(),
+        d.max.to_bits(),
+    )
+}
+
+#[test]
+fn monte_carlo_is_bitwise_identical_across_thread_counts() {
+    let mut scatters = BTreeMap::new();
+    scatters.insert("r".to_string(), Scatter::new(1.0e3, 0.1));
+    scatters.insert("g".to_string(), Scatter::new(2.0e-3, 0.05));
+    for seed in [1, 42, 1994] {
+        let run = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            monte_carlo_on(&pool, &scatters, 57, seed, |p| {
+                // A mildly nonlinear measurement with a failing corner, so
+                // both the value stream and the failure accounting are
+                // exercised.
+                let v = p["r"] * p["g"];
+                if v > 2.25 {
+                    Err(CharacError::ExtractionFailed("corner".into()))
+                } else {
+                    Ok(v.sin() + p["r"].sqrt())
+                }
+            })
+            .unwrap()
+        };
+        let (dist_1t, failures_1t) = run(1);
+        for &threads in &THREAD_COUNTS[1..] {
+            let (dist, failures) = run(threads);
+            assert_eq!(
+                bits(&dist_1t),
+                bits(&dist),
+                "seed {seed}, {threads} threads"
+            );
+            assert_eq!(failures_1t, failures, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_on_a_real_rig_is_bitwise_identical() {
+    // Scatter a resistive divider's lower leg and extract the DC gain with
+    // the dc_transfer rig — each sample builds and sweeps a real circuit
+    // on the pool.
+    let mut scatters = BTreeMap::new();
+    scatters.insert("r2".to_string(), Scatter::new(1.0e3, 0.1));
+    let run = |threads: usize| {
+        let pool = ThreadPool::new(threads);
+        monte_carlo_on(&pool, &scatters, 12, 7, |p| {
+            let r2 = p["r2"];
+            let dut = FnDut::new(&["in", "out"], move |ckt, name, nodes| {
+                ckt.add_resistor(&format!("{name}_R1"), nodes[0], nodes[1], 1.0e3)?;
+                ckt.add_resistor(&format!("{name}_R2"), nodes[1], Circuit::GROUND, r2)?;
+                Ok(())
+            });
+            let xs = rigs::dc_transfer(&dut, "in", "out", &[], -1.0, 1.0, 0.5)?;
+            let gain = xs
+                .iter()
+                .find(|x| x.name == "gain")
+                .ok_or_else(|| CharacError::ExtractionFailed("no gain".into()))?;
+            Ok(gain.value)
+        })
+        .unwrap()
+    };
+    let (dist_1t, failures_1t) = run(1);
+    assert_eq!(failures_1t, 0);
+    // Divider gain r2/(r1+r2) with r2 ∈ 1 kΩ ± 30 %: centred near 0.5.
+    assert!(
+        (dist_1t.mean - 0.5).abs() < 0.05,
+        "mean gain {}",
+        dist_1t.mean
+    );
+    for &threads in &THREAD_COUNTS[1..] {
+        let (dist, failures) = run(threads);
+        assert_eq!(bits(&dist_1t), bits(&dist), "{threads} threads");
+        assert_eq!(failures, 0);
+    }
+}
+
+#[test]
+fn scan_validity_is_bitwise_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let pool = ThreadPool::new(threads);
+        scan_validity_on(&pool, "frequency", 1.0, 1.0e5, 41, 0.1, |f| {
+            if f > 3.0e4 {
+                Err(CharacError::ExtractionFailed("no convergence".into()))
+            } else {
+                Ok(f / 1.0e4)
+            }
+        })
+        .unwrap()
+    };
+    let r_1t = run(1);
+    for &threads in &THREAD_COUNTS[1..] {
+        let r = run(threads);
+        assert_eq!(r_1t.lo.to_bits(), r.lo.to_bits(), "{threads} threads");
+        assert_eq!(r_1t.hi.to_bits(), r.hi.to_bits(), "{threads} threads");
+        assert_eq!(r_1t.evaluations, r.evaluations);
+        assert_eq!(r_1t.failures, r.failures);
+    }
+    assert!(r_1t.failures > 0, "the scan should hit the failing corner");
+}
+
+#[test]
+fn validity_scan_on_a_real_circuit_bounds_a_bias_range() {
+    // A diode-clamped divider stops tracking the ideal divider once the
+    // diode turns on; every probe solves a real operating point on the
+    // pool, and the verdict must not depend on the thread count.
+    let probe = |vin: f64| -> Result<f64, CharacError> {
+        let mut ckt = Circuit::new();
+        let input = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("VIN", input, Circuit::GROUND, SourceWave::dc(vin));
+        ckt.add_resistor("R1", input, mid, 1.0e3)?;
+        ckt.add_resistor("R2", mid, Circuit::GROUND, 1.0e3)?;
+        ckt.add_diode("D1", mid, Circuit::GROUND, DiodeParams::default());
+        let op = ckt.op()?;
+        let ideal = vin / 2.0;
+        Ok((op.voltage(mid) - ideal).abs() / ideal.abs().max(1e-12))
+    };
+    let run = |threads: usize| {
+        let pool = ThreadPool::new(threads);
+        scan_validity_on(&pool, "vin", 0.01, 10.0, 31, 0.05, probe).unwrap()
+    };
+    let r_1t = run(1);
+    assert!(r_1t.is_valid_anywhere());
+    assert!(
+        r_1t.hi < 2.0,
+        "diode clamp should cap validity, hi = {}",
+        r_1t.hi
+    );
+    for &threads in &THREAD_COUNTS[1..] {
+        let r = run(threads);
+        assert_eq!(r_1t.lo.to_bits(), r.lo.to_bits());
+        assert_eq!(r_1t.hi.to_bits(), r.hi.to_bits());
+        assert_eq!(r_1t.failures, r.failures);
+    }
+}

@@ -149,6 +149,31 @@ impl SparseMatrix {
         }
     }
 
+    /// Column pointer array of the CSC layout (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index of every structural entry, column-major.
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// `true` if `other` has exactly the same dimensions and structural
+    /// pattern (column pointers and row indices); values are ignored.
+    ///
+    /// MNA assembly pushes a triplet for every stamp position on every
+    /// Newton iteration — including explicit zeros — so the pattern of a
+    /// circuit matrix is stable across iterations and time steps. This
+    /// check is what lets [`crate::SparseLu::refactor`] reuse a symbolic
+    /// analysis safely.
+    pub fn same_pattern(&self, other: &SparseMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.col_ptr == other.col_ptr
+            && self.row_idx == other.row_idx
+    }
+
     /// Iterates over the structural entries of column `col` as
     /// `(row, value)` pairs.
     pub fn col_iter(&self, col: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
@@ -229,6 +254,24 @@ mod tests {
     fn push_out_of_bounds_panics() {
         let mut b = TripletBuilder::new(1, 1);
         b.push(0, 1, 1.0);
+    }
+
+    #[test]
+    fn same_pattern_ignores_values() {
+        let mut a = TripletBuilder::new(2, 2);
+        a.push(0, 0, 1.0);
+        a.push(1, 1, 2.0);
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, -7.0);
+        b.push(1, 1, 0.0); // explicit zero is still structural
+        let (ma, mb) = (a.to_csc(), b.to_csc());
+        assert!(ma.same_pattern(&mb));
+        let mut c = TripletBuilder::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(0, 1, 2.0);
+        assert!(!ma.same_pattern(&c.to_csc()));
+        assert_eq!(ma.col_ptr(), &[0, 1, 2]);
+        assert_eq!(ma.row_indices(), &[0, 1]);
     }
 
     #[test]

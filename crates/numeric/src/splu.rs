@@ -1,9 +1,17 @@
 //! Left-looking (Gilbert–Peierls) sparse LU factorization with partial
-//! pivoting.
+//! pivoting, plus KLU-style numeric refactorization.
 //!
 //! The simulator uses the dense solver for small systems and switches to this
 //! factorization above a node-count threshold; the `dense vs sparse` ablation
 //! bench quantifies the crossover on ladder networks.
+//!
+//! A Newton loop refactors the *same* sparsity pattern every iteration —
+//! only the values change. [`SparseLu::new`] therefore records the input
+//! pattern and stores the `L`/`U` patterns complete (structural zeros
+//! included) with each `U` column in elimination order, so that
+//! [`SparseLu::refactor`] can replay the numeric sweep against the frozen
+//! pivot order without redoing the symbolic reachability analysis or the
+//! pivot search, and without reallocating the factors.
 
 use crate::sparse::SparseMatrix;
 use crate::NumericError;
@@ -34,12 +42,17 @@ pub struct SparseLu {
     l_col_ptr: Vec<usize>,
     l_row_idx: Vec<usize>,
     l_values: Vec<f64>,
-    // U in CSC, diagonal entry last in each column.
+    // U in CSC, entries in elimination (topological) order with the
+    // diagonal last in each column — the order `refactor` replays.
     u_col_ptr: Vec<usize>,
     u_row_idx: Vec<usize>,
     u_values: Vec<f64>,
     /// `perm[i]` = original row placed at position `i`.
     perm: Vec<usize>,
+    // Structural pattern of the factored input, kept so `refactor` can
+    // verify the symbolic analysis still applies.
+    a_col_ptr: Vec<usize>,
+    a_row_idx: Vec<usize>,
 }
 
 const PIVOT_EPS: f64 = 1e-13;
@@ -121,12 +134,19 @@ impl SparseLu {
             for (row, v) in a.col_iter(col) {
                 work[row] = v;
             }
+            // Numeric sweep doubling as the U emission: by the time a
+            // pivotal row is visited (dependencies first), its work value
+            // is final, so it is the U entry. Structural zeros are kept —
+            // `refactor` replays exactly these positions in exactly this
+            // order with different values, where the entry may be nonzero.
             for &r in pattern.iter().rev() {
                 let pos = pinv[r];
                 if pos == usize::MAX {
                     continue;
                 }
                 let xr = work[r];
+                u_row_idx.push(pos);
+                u_values.push(xr);
                 if xr == 0.0 {
                     continue;
                 }
@@ -153,20 +173,15 @@ impl SparseLu {
             let pivot_val = work[pivot_row];
             pinv[pivot_row] = col;
             perm[col] = pivot_row;
-            // Emit U column: pivotal rows, then the diagonal (pivot) last.
-            for &r in &pattern {
-                let pos = pinv[r];
-                if pos != usize::MAX && r != pivot_row && work[r] != 0.0 {
-                    u_row_idx.push(pos);
-                    u_values.push(work[r]);
-                }
-            }
+            // Close the U column with the diagonal (the sweep above has
+            // already emitted every previously-pivotal row).
             u_row_idx.push(col);
             u_values.push(pivot_val);
             u_col_ptr.push(u_row_idx.len());
-            // Emit L column: non-pivotal rows scaled by the pivot.
+            // Emit L column: non-pivotal rows scaled by the pivot, with
+            // structural zeros kept for `refactor`.
             for &r in &pattern {
-                if pinv[r] == usize::MAX && work[r] != 0.0 {
+                if pinv[r] == usize::MAX {
                     l_row_idx.push(r);
                     l_values.push(work[r] / pivot_val);
                 }
@@ -187,7 +202,90 @@ impl SparseLu {
             u_row_idx,
             u_values,
             perm,
+            a_col_ptr: a.col_ptr().to_vec(),
+            a_row_idx: a.row_indices().to_vec(),
         })
+    }
+
+    /// `true` if `a` has the structural pattern this factorization was
+    /// built for, i.e. [`SparseLu::refactor`] will accept it.
+    pub fn pattern_matches(&self, a: &SparseMatrix) -> bool {
+        a.rows() == self.n
+            && a.cols() == self.n
+            && a.col_ptr() == &self.a_col_ptr[..]
+            && a.row_indices() == &self.a_row_idx[..]
+    }
+
+    /// Recomputes the numeric factors of `a` in place, reusing the
+    /// symbolic analysis and pivot order of the original factorization —
+    /// the cheap path of a Newton loop, where the matrix pattern is fixed
+    /// and only the values move between iterations.
+    ///
+    /// The replay performs the same floating-point operations in the same
+    /// order as [`SparseLu::new`] would, so when the frozen pivot order
+    /// coincides with the order a fresh factorization would choose, the
+    /// factors (and subsequent [`SparseLu::solve`] results) are bitwise
+    /// identical.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::DimensionMismatch`] if `a` is not `dim()`-square.
+    /// * [`NumericError::InvalidInput`] if the structural pattern of `a`
+    ///   differs from the factored one (check [`SparseLu::pattern_matches`]
+    ///   first, or fall back to a full factorization).
+    /// * [`NumericError::Singular`] if a frozen pivot becomes numerically
+    ///   zero under the new values. The factor contents are unspecified
+    ///   afterwards; rebuild with [`SparseLu::new`] to re-pivot.
+    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<(), NumericError> {
+        if a.rows() != self.n || a.cols() != self.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.n,
+                found: a.rows(),
+            });
+        }
+        if !self.pattern_matches(a) {
+            return Err(NumericError::InvalidInput(
+                "sparsity pattern differs from the factored matrix".into(),
+            ));
+        }
+        let mut work = vec![0.0f64; self.n];
+        for col in 0..self.n {
+            for (row, v) in a.col_iter(col) {
+                work[row] = v;
+            }
+            let (ulo, uhi) = (self.u_col_ptr[col], self.u_col_ptr[col + 1]);
+            // Replay the elimination in the stored topological order; the
+            // stored row set is the full reachability pattern of the
+            // column, so every touched work entry is listed in U or L.
+            for k in ulo..uhi - 1 {
+                let pos = self.u_row_idx[k];
+                let r = self.perm[pos];
+                let xr = work[r];
+                self.u_values[k] = xr;
+                if xr == 0.0 {
+                    continue;
+                }
+                for i in self.l_col_ptr[pos]..self.l_col_ptr[pos + 1] {
+                    work[self.l_row_idx[i]] -= self.l_values[i] * xr;
+                }
+            }
+            let pivot_row = self.perm[col];
+            let pivot_val = work[pivot_row];
+            if pivot_val.abs() < PIVOT_EPS {
+                return Err(NumericError::Singular { pivot: col });
+            }
+            self.u_values[uhi - 1] = pivot_val;
+            for i in self.l_col_ptr[col]..self.l_col_ptr[col + 1] {
+                let r = self.l_row_idx[i];
+                self.l_values[i] = work[r] / pivot_val;
+                work[r] = 0.0;
+            }
+            for k in ulo..uhi - 1 {
+                work[self.perm[self.u_row_idx[k]]] = 0.0;
+            }
+            work[pivot_row] = 0.0;
+        }
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -334,6 +432,112 @@ mod tests {
         assert!(matches!(
             SparseLu::new(&b.to_csc()),
             Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_matches_full_factorization_to_the_ulp() {
+        // Diagonally dominant systems keep the pivot order stable, so a
+        // numeric-only refactorization must reproduce a fresh
+        // factorization bit for bit (same operations, same order).
+        let mut state = 0x1994_2026_abcd_ef01u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [4usize, 9, 17] {
+            // One structural pattern, two value sets.
+            let mut coords: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && next() > 0.2 {
+                        coords.push((i, j));
+                    }
+                }
+            }
+            let fill = |next: &mut dyn FnMut() -> f64| {
+                let mut tb = TripletBuilder::new(n, n);
+                for &(i, j) in &coords {
+                    let v = next();
+                    tb.push(i, j, if i == j { v + 4.0 } else { v });
+                }
+                tb.to_csc()
+            };
+            let a1 = fill(&mut next);
+            let a2 = fill(&mut next);
+            assert!(a1.same_pattern(&a2));
+
+            let mut reused = SparseLu::new(&a1).unwrap();
+            assert!(reused.pattern_matches(&a2));
+            reused.refactor(&a2).unwrap();
+            let fresh = SparseLu::new(&a2).unwrap();
+
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(reused.perm, fresh.perm, "n={n}: pivot order drifted");
+            assert_eq!(bits(&reused.l_values), bits(&fresh.l_values), "n={n}: L");
+            assert_eq!(bits(&reused.u_values), bits(&fresh.u_values), "n={n}: U");
+
+            let rhs: Vec<f64> = (0..n).map(|_| next()).collect();
+            let xr = reused.solve(&rhs).unwrap();
+            let xf = fresh.solve(&rhs).unwrap();
+            assert_eq!(bits(&xr), bits(&xf), "n={n}: solutions differ");
+        }
+    }
+
+    #[test]
+    fn refactor_replays_non_trivial_permutation() {
+        // [[0, b], [c, 0]] forces off-diagonal pivots; the frozen
+        // permutation must keep working for new values.
+        let build = |b: f64, c: f64| {
+            let mut tb = TripletBuilder::new(2, 2);
+            tb.push(0, 1, b);
+            tb.push(1, 0, c);
+            tb.to_csc()
+        };
+        let mut lu = SparseLu::new(&build(1.0, 1.0)).unwrap();
+        let a2 = build(2.0, -3.0);
+        lu.refactor(&a2).unwrap();
+        let x = lu.solve(&[4.0, 6.0]).unwrap();
+        // 2·x1 = 4 and −3·x0 = 6.
+        assert_eq!(x, vec![-2.0, 2.0]);
+    }
+
+    #[test]
+    fn refactor_rejects_pattern_change() {
+        let mut lu =
+            SparseLu::new(&dense_to_builder(&[&[2.0, 1.0][..], &[0.0, 3.0][..]]).to_csc()).unwrap();
+        let other = dense_to_builder(&[&[2.0, 0.0][..], &[1.0, 3.0][..]]).to_csc();
+        assert!(!lu.pattern_matches(&other));
+        assert!(matches!(
+            lu.refactor(&other),
+            Err(NumericError::InvalidInput(_))
+        ));
+        let wide = TripletBuilder::new(2, 3).to_csc();
+        assert!(matches!(
+            lu.refactor(&wide),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_detects_singular_pivot() {
+        // Same pattern, but the new values make the matrix rank one: the
+        // frozen second pivot collapses to ~0.
+        let a1 = dense_to_builder(&[&[4.0, 1.0][..], &[1.0, 3.0][..]]).to_csc();
+        let a2 = dense_to_builder(&[&[4.0, 1.0][..], &[4.0, 1.0][..]]).to_csc();
+        assert!(a1.same_pattern(&a2));
+        let mut lu = SparseLu::new(&a1).unwrap();
+        assert!(matches!(
+            lu.refactor(&a2),
+            Err(NumericError::Singular { pivot: 1 })
+        ));
+        // The documented recovery path — a fresh factorization — also
+        // reports the singularity (there is no rank-2 ordering to find).
+        assert!(matches!(
+            SparseLu::new(&a2),
+            Err(NumericError::Singular { .. })
         ));
     }
 

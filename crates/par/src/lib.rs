@@ -1,0 +1,438 @@
+//! A small work-stealing thread pool built on `std::thread` only.
+//!
+//! The characterization workload of the paper's §2.4 — "perform many
+//! analogue simulation runs" — is embarrassingly parallel: every
+//! Monte-Carlo sample, validity grid point and extraction rig builds its
+//! own circuit and solves it independently. The workspace builds fully
+//! offline, so instead of pulling in `rayon` this crate provides the two
+//! primitives that workload needs:
+//!
+//! * [`ThreadPool::scope`] — spawn borrowing closures and wait for all of
+//!   them, with panic propagation back to the caller;
+//! * [`ThreadPool::par_map`] / [`ThreadPool::par_map_n`] — evaluate a
+//!   `Fn + Sync` over a slice (or index range) and collect the results
+//!   *in input order*, so callers stay deterministic regardless of the
+//!   execution interleaving.
+//!
+//! Each worker owns a deque: submitted jobs are distributed round-robin,
+//! a worker pops its own queue from the front and, when empty, *steals*
+//! from the back of the fullest sibling queue. A [`global()`] pool is
+//! lazily built from, in order of precedence, [`set_global_threads`]
+//! (the `--threads` CLI flag), the `GABM_THREADS` environment variable,
+//! and [`std::thread::available_parallelism`].
+//!
+//! Jobs must not block on other jobs of the same pool (no nested
+//! `scope` from inside a worker): the pool is sized for compute-bound
+//! simulation runs, not for dependency graphs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between the pool handle and its workers.
+struct State {
+    /// One deque per worker; the owner pops the front, thieves the back.
+    queues: Vec<VecDeque<Job>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size pool of worker threads with per-worker work-stealing
+/// deques.
+///
+/// # Example
+///
+/// ```
+/// let pool = gabm_par::ThreadPool::new(4);
+/// let squares = pool.par_map(&[1, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    next_queue: AtomicUsize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queues: (0..threads).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("gabm-par-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            next_queue: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one type-erased job, round-robin over the worker deques.
+    fn push(&self, job: Job) {
+        let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.threads();
+        let mut st = self.shared.state.lock().unwrap();
+        st.queues[slot].push_back(job);
+        drop(st);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Runs `f` with a [`Scope`] that can spawn borrowing jobs, then waits
+    /// for every spawned job to finish before returning.
+    ///
+    /// If any job panics, the first panic payload is re-raised on the
+    /// calling thread (after all jobs have completed, so borrows stay
+    /// sound).
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env, '_>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+            _env: std::marker::PhantomData,
+        };
+        // Even when `f` itself panics mid-spawn, already-queued jobs must
+        // complete before the stack frame (and its borrows) unwinds.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.wait();
+        if let Some(payload) = scope.state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Applies `f(index, &item)` to every item and returns the results in
+    /// input order. Deterministic for a pure `f` at any thread count; a
+    /// single-threaded pool runs inline with zero overhead.
+    pub fn par_map<T, R>(&self, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        if self.threads() <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(k, t)| f(k, t)).collect();
+        }
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        let f = &f;
+        self.scope(|s| {
+            for (k, (slot, item)) in slots.iter_mut().zip(items).enumerate() {
+                s.spawn(move || *slot = Some(f(k, item)));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|o| o.expect("scope joined every job"))
+            .collect()
+    }
+
+    /// Applies `f(k)` for `k` in `0..n` and returns the results in index
+    /// order — [`ThreadPool::par_map`] without a backing slice.
+    pub fn par_map_n<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        if self.threads() <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let f = &f;
+        self.scope(|s| {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move || *slot = Some(f(k)));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|o| o.expect("scope joined every job"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queues[id].pop_front() {
+                    break job;
+                }
+                // Steal from the back of the fullest sibling deque.
+                let victim = st
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, q)| *i != id && !q.is_empty())
+                    .max_by_key(|(_, q)| q.len())
+                    .map(|(i, _)| i);
+                if let Some(v) = victim {
+                    break st.queues[v].pop_back().expect("victim queue non-empty");
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`]; jobs may
+/// borrow anything that outlives the `scope` call.
+pub struct Scope<'env, 'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::scope`.
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env, '_> {
+    /// Queues `job` on the pool. The job may borrow from the environment
+    /// of the enclosing [`ThreadPool::scope`] call; a panic inside it is
+    /// captured and re-raised by `scope`.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
+        *self.state.pending.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut pending = state.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        };
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapped);
+        // SAFETY: `scope` waits for `pending == 0` before returning, so
+        // every job (and its `'env` borrows) finishes while the borrowed
+        // environment is still alive. The transmute only erases `'env` to
+        // `'static` on the trait object; nothing else changes.
+        let boxed: Job = unsafe { std::mem::transmute(boxed) };
+        self.pool.push(boxed);
+    }
+
+    fn wait(&self) {
+        let mut pending = self.state.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.state.done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// Parses the `GABM_THREADS` environment variable.
+///
+/// Returns `Ok(None)` when unset or empty.
+///
+/// # Errors
+///
+/// A message naming the variable when the value is not a positive
+/// integer. Binaries should surface this at startup; [`global`] itself
+/// falls back to auto-detection on a malformed value.
+pub fn env_threads() -> Result<Option<usize>, String> {
+    match std::env::var("GABM_THREADS") {
+        Ok(v) if v.is_empty() => Ok(None),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!(
+                "invalid GABM_THREADS value '{v}': expected a positive integer"
+            )),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
+static GLOBAL_OVERRIDE: OnceLock<usize> = OnceLock::new();
+static GLOBAL_POOL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Fixes the size of the [`global`] pool (the `--threads N` CLI flag).
+///
+/// Returns `false` when it is too late: an override was already set or
+/// the global pool has already been built.
+pub fn set_global_threads(threads: usize) -> bool {
+    if GLOBAL_POOL.get().is_some() {
+        return false;
+    }
+    GLOBAL_OVERRIDE.set(threads.max(1)).is_ok()
+}
+
+/// Thread count the [`global`] pool will use: the
+/// [`set_global_threads`] override, else `GABM_THREADS`, else
+/// [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Some(&n) = GLOBAL_OVERRIDE.get() {
+        return n;
+    }
+    if let Ok(Some(n)) = env_threads() {
+        return n;
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide pool, built lazily with [`default_threads`] workers.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL_POOL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for threads in [1, 2, 7] {
+            let pool = ThreadPool::new(threads);
+            let items: Vec<usize> = (0..100).collect();
+            let out = pool.par_map(&items, |k, &x| {
+                assert_eq!(k, x);
+                x * x
+            });
+            let expect: Vec<usize> = (0..100).map(|x| x * x).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_n_matches_serial() {
+        let pool = ThreadPool::new(3);
+        let out = pool.par_map_n(17, |k| k as f64 * 1.5);
+        let expect: Vec<f64> = (0..17).map(|k| k as f64 * 1.5).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn jobs_run_on_worker_threads() {
+        let pool = ThreadPool::new(2);
+        let names = pool.par_map_n(8, |_| thread::current().name().unwrap_or("").to_string());
+        for n in names {
+            assert!(n.starts_with("gabm-par-"), "ran on '{n}'");
+        }
+    }
+
+    #[test]
+    fn scope_borrows_disjoint_slots_mutably() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u64; 32];
+        pool.scope(|s| {
+            for (k, slot) in data.iter_mut().enumerate() {
+                s.spawn(move || *slot = k as u64 + 1);
+            }
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, k as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn panic_in_job_propagates_to_caller() {
+        for threads in [1, 3] {
+            let pool = ThreadPool::new(threads);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.par_map_n(8, |k| {
+                    if k == 5 {
+                        panic!("boom at {k}");
+                    }
+                    k
+                })
+            }));
+            assert!(result.is_err(), "threads = {threads}");
+            // Pool must still be usable after a propagated panic.
+            assert_eq!(pool.par_map_n(3, |k| k), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_and_joins_on_drop() {
+        let flag = AtomicBool::new(false);
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..3 {
+                pool.par_map_n(4, |_| ());
+            }
+            pool.scope(|s| {
+                s.spawn(|| flag.store(true, Ordering::SeqCst));
+            });
+        }
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.par_map_n(2, |k| k), vec![0, 1]);
+    }
+
+    #[test]
+    fn env_threads_parses_and_rejects() {
+        // Can't mutate the process environment safely under a parallel
+        // test runner; exercise the parser through a present-or-absent
+        // variable only when it is unset.
+        match std::env::var("GABM_THREADS") {
+            Err(_) => assert_eq!(env_threads(), Ok(None)),
+            Ok(v) => {
+                // Whatever the harness set must parse cleanly.
+                assert!(env_threads().is_ok(), "GABM_THREADS='{v}' should parse");
+            }
+        }
+    }
+}

@@ -47,6 +47,23 @@ pub(crate) fn newton_solve(
     setup: SolveSetup,
     stats: &mut SimStats,
 ) -> Result<NewtonOutcome, SimError> {
+    // The cached sparse factorization lives on the circuit so its
+    // symbolic analysis survives across solves (and time steps). Take it
+    // out for the iteration and put it back on every exit path.
+    let mut lu_cache = circuit.lu_cache.take();
+    let result = newton_iterate(circuit, mode, x0, setup, stats, &mut lu_cache);
+    circuit.lu_cache = lu_cache;
+    result
+}
+
+fn newton_iterate(
+    circuit: &mut Circuit,
+    mode: Mode,
+    x0: &[f64],
+    setup: SolveSetup,
+    stats: &mut SimStats,
+    lu_cache: &mut Option<SparseLu>,
+) -> Result<NewtonOutcome, SimError> {
     let n_nodes = circuit.n_nodes();
     let n = circuit.n_unknowns();
     debug_assert_eq!(x0.len(), n, "initial guess length mismatch");
@@ -92,9 +109,33 @@ pub(crate) fn newton_solve(
                 lu.solve(rhs)?
             }
             crate::device::MatrixStore::Sparse(t) => {
-                let lu = SparseLu::new(&t.to_csc()).map_err(singular)?;
-                stats.factorizations += 1;
-                lu.solve(rhs)?
+                let a = t.to_csc();
+                // Numeric-only refactorization while the pattern holds; a
+                // pivot collapsing under the frozen order (or a pattern
+                // change from e.g. gmin stepping) falls back to a full
+                // re-pivoting factorization.
+                let cached = if opts.reuse_lu { lu_cache.take() } else { None };
+                let lu = match cached {
+                    Some(mut lu) if lu.pattern_matches(&a) => match lu.refactor(&a) {
+                        Ok(()) => {
+                            stats.refactorizations += 1;
+                            lu
+                        }
+                        Err(_) => {
+                            stats.factorizations += 1;
+                            SparseLu::new(&a).map_err(singular)?
+                        }
+                    },
+                    _ => {
+                        stats.factorizations += 1;
+                        SparseLu::new(&a).map_err(singular)?
+                    }
+                };
+                let solved = lu.solve(rhs)?;
+                if opts.reuse_lu {
+                    *lu_cache = Some(lu);
+                }
+                solved
             }
         };
         stats.newton_iterations += 1;
@@ -192,6 +233,77 @@ mod tests {
             }
             other => panic!("expected singular matrix, got {other:?}"),
         }
+    }
+
+    /// Nonlinear diode/resistor ladder, forced onto the sparse backend.
+    fn diode_ladder(reuse_lu: bool) -> Circuit {
+        let mut c = Circuit::new();
+        c.options.sparse_threshold = 1;
+        c.options.reuse_lu = reuse_lu;
+        let top = c.node("top");
+        c.add_vsource("V1", top, Circuit::GROUND, SourceWave::dc(5.0));
+        let mut prev = top;
+        for k in 0..6 {
+            let n = c.node(&format!("n{k}"));
+            c.add_resistor(&format!("R{k}"), prev, n, 500.0).unwrap();
+            c.add_diode(
+                &format!("D{k}"),
+                n,
+                Circuit::GROUND,
+                crate::devices::DiodeParams::default(),
+            );
+            prev = n;
+        }
+        c
+    }
+
+    #[test]
+    fn sparse_lu_reuse_is_bitwise_identical_to_full_factorization() {
+        let solve = |reuse: bool| {
+            let mut c = diode_ladder(reuse);
+            let n = c.n_unknowns();
+            let mut stats = SimStats::default();
+            let out = newton_solve(
+                &mut c,
+                Mode::Dc,
+                &vec![0.0; n],
+                SolveSetup::default(),
+                &mut stats,
+            )
+            .unwrap();
+            (out, stats)
+        };
+        let (out_full, stats_full) = solve(false);
+        let (out_reuse, stats_reuse) = solve(true);
+        assert_eq!(out_full.iterations, out_reuse.iterations);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out_full.x), bits(&out_reuse.x));
+        // Without reuse every iteration refactors from scratch; with it,
+        // only the first does.
+        assert_eq!(stats_full.refactorizations, 0);
+        assert_eq!(stats_full.factorizations, out_full.iterations);
+        assert_eq!(stats_reuse.factorizations, 1);
+        assert_eq!(stats_reuse.refactorizations, out_reuse.iterations - 1);
+    }
+
+    #[test]
+    fn lu_cache_survives_consecutive_solves() {
+        let mut c = diode_ladder(true);
+        let n = c.n_unknowns();
+        let mut stats = SimStats::default();
+        let out = newton_solve(
+            &mut c,
+            Mode::Dc,
+            &vec![0.0; n],
+            SolveSetup::default(),
+            &mut stats,
+        )
+        .unwrap();
+        // Second solve from the converged point: same pattern, so no new
+        // full factorization at all.
+        newton_solve(&mut c, Mode::Dc, &out.x, SolveSetup::default(), &mut stats).unwrap();
+        assert_eq!(stats.factorizations, 1);
+        assert!(stats.refactorizations >= out.iterations);
     }
 
     #[test]

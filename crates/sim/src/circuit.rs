@@ -72,6 +72,11 @@ pub struct Circuit {
     n_branches: usize,
     /// Simulator options used by all analyses on this circuit.
     pub options: Options,
+    /// Cached sparse factorization: the symbolic analysis and pivot order
+    /// survive across Newton solves and time steps, so iterations with an
+    /// unchanged matrix pattern only pay a numeric refactorization (see
+    /// [`Options::reuse_lu`]).
+    pub(crate) lu_cache: Option<gabm_numeric::SparseLu>,
 }
 
 impl Circuit {
@@ -87,6 +92,7 @@ impl Circuit {
             device_names: HashMap::new(),
             n_branches: 0,
             options: Options::default(),
+            lu_cache: None,
         }
     }
 

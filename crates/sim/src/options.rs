@@ -39,6 +39,11 @@ pub struct Options {
     pub temperature: f64,
     /// Switch to the sparse matrix backend above this many unknowns.
     pub sparse_threshold: usize,
+    /// Reuse the sparse LU symbolic analysis and pivot order across Newton
+    /// iterations and time steps (numeric-only refactorization) while the
+    /// matrix pattern is unchanged. Disable to force a full factorization
+    /// per iteration (the pre-reuse behaviour, kept for benchmarking).
+    pub reuse_lu: bool,
 }
 
 impl Default for Options {
@@ -54,6 +59,7 @@ impl Default for Options {
             max_voltage_step: 2.0,
             temperature: 300.15,
             sparse_threshold: 64,
+            reuse_lu: true,
         }
     }
 }
@@ -77,8 +83,11 @@ pub struct SimStats {
     pub rejected_steps: usize,
     /// Total Newton iterations across all solves.
     pub newton_iterations: usize,
-    /// Total matrix factorizations (equals solves here — no Jacobian reuse).
+    /// Full matrix factorizations (symbolic analysis + pivoting + numerics).
     pub factorizations: usize,
+    /// Numeric-only sparse refactorizations served from the cached
+    /// symbolic analysis (see [`Options::reuse_lu`]).
+    pub refactorizations: usize,
     /// Total device evaluation sweeps.
     pub device_evals: usize,
 }
@@ -90,6 +99,7 @@ impl SimStats {
         self.rejected_steps += other.rejected_steps;
         self.newton_iterations += other.newton_iterations;
         self.factorizations += other.factorizations;
+        self.refactorizations += other.refactorizations;
         self.device_evals += other.device_evals;
     }
 }
@@ -120,12 +130,14 @@ mod tests {
             rejected_steps: 1,
             newton_iterations: 4,
             factorizations: 5,
+            refactorizations: 7,
             device_evals: 6,
         });
         assert_eq!(a.accepted_steps, 3);
         assert_eq!(a.rejected_steps, 1);
         assert_eq!(a.newton_iterations, 7);
         assert_eq!(a.factorizations, 5);
+        assert_eq!(a.refactorizations, 7);
         assert_eq!(a.device_evals, 6);
     }
 }

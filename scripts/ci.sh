@@ -13,8 +13,8 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
@@ -63,6 +63,29 @@ target/release/harness fasvm
 case "$(cat BENCH_fasvm.json)" in
     *'"speedup_vm_over_interp"'*) ;;
     *) echo "FAIL: BENCH_fasvm.json missing speedup field" >&2; exit 1 ;;
+esac
+
+# Parallel characterization gate: the Monte-Carlo distribution fingerprint
+# must be bitwise identical whatever GABM_THREADS says (the harness also
+# asserts this in-process across pools of 1/2/4/8 workers, and asserts the
+# LU-reuse run retraces the full-factorization Newton trajectory).
+echo "==> harness parchar (BENCH_parchar.json)"
+rm -f BENCH_parchar.json
+dist1=$(GABM_THREADS=1 target/release/harness parchar | grep '^PARCHAR-DIST')
+dist4=$(GABM_THREADS=4 target/release/harness parchar | grep '^PARCHAR-DIST')
+if [ "$dist1" != "$dist4" ]; then
+    echo "FAIL: Monte-Carlo distribution depends on GABM_THREADS:" >&2
+    echo "  GABM_THREADS=1: $dist1" >&2
+    echo "  GABM_THREADS=4: $dist4" >&2
+    exit 1
+fi
+if [ ! -f BENCH_parchar.json ]; then
+    echo "FAIL: BENCH_parchar.json not regenerated" >&2
+    exit 1
+fi
+case "$(cat BENCH_parchar.json)" in
+    *'"speedup_lu_reuse"'*) ;;
+    *) echo "FAIL: BENCH_parchar.json missing speedup_lu_reuse" >&2; exit 1 ;;
 esac
 
 echo "CI OK"

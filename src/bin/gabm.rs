@@ -43,6 +43,8 @@ commands:
   help     show help for a command: gabm help <command>
 
 flags:
+  --threads <n>   size of the worker pool for parallel characterization
+                  (default: all hardware threads; env: GABM_THREADS)
   --version, -V   print the toolchain version
   --help, -h      show this help
 ";
@@ -381,8 +383,45 @@ fn run_help(argv: &[String]) -> ExitCode {
     }
 }
 
+/// Removes `--threads <n>` from `argv` (it may appear anywhere) and
+/// returns the requested pool size, falling back to a validated
+/// `GABM_THREADS`.
+fn take_threads_flag(argv: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let mut threads = None;
+    while let Some(pos) = argv.iter().position(|a| a == "--threads") {
+        if pos + 1 >= argv.len() {
+            return Err("--threads requires a value".to_string());
+        }
+        let value = argv.remove(pos + 1);
+        argv.remove(pos);
+        threads = Some(
+            value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or(format!(
+                    "invalid value '{value}' for --threads: expected a positive integer"
+                ))?,
+        );
+    }
+    match threads {
+        Some(n) => Ok(Some(n)),
+        None => gabm::par::env_threads(),
+    }
+}
+
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    match take_threads_flag(&mut argv) {
+        Ok(Some(n)) => {
+            gabm::par::set_global_threads(n);
+        }
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}\n{TOP_USAGE}");
+            return ExitCode::from(2);
+        }
+    }
     match argv.first().map(String::as_str) {
         Some("lint") => match run_lint(&argv[1..]) {
             Ok(code) => code,

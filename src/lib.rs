@@ -44,5 +44,6 @@ pub use gabm_fasvm as fasvm;
 pub use gabm_lint as lint;
 pub use gabm_models as models;
 pub use gabm_numeric as numeric;
+pub use gabm_par as par;
 pub use gabm_schematic as schematic;
 pub use gabm_sim as sim;

@@ -109,6 +109,71 @@ fn help_subcommand_shows_command_usage() {
 }
 
 #[test]
+fn threads_flag_is_accepted_anywhere() {
+    // Before the subcommand...
+    let out = gabm(&[
+        "--threads",
+        "2",
+        "compile",
+        fixture("clean.fas").to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("clean: 2 pins"),
+        "{out:?}"
+    );
+    // ...and after it.
+    let out = gabm(&[
+        "compile",
+        fixture("clean.fas").to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn threads_flag_rejects_bad_values() {
+    for bad in ["zero", "0", "-3", "1.5"] {
+        let out = gabm(&["--threads", bad, "compile", "x.fas"]);
+        assert_eq!(exit_code(&out), 2, "value {bad:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!(
+                "invalid value '{bad}' for --threads: expected a positive integer"
+            )),
+            "value {bad:?}: {stderr}"
+        );
+    }
+    let out = gabm(&["compile", "x.fas", "--threads"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--threads requires a value"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn threads_env_is_validated() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gabm"))
+        .args(["--version"])
+        .env("GABM_THREADS", "banana")
+        .output()
+        .expect("gabm binary runs");
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid GABM_THREADS value 'banana'"),
+        "{out:?}"
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_gabm"))
+        .args(["--version"])
+        .env("GABM_THREADS", "3")
+        .output()
+        .expect("gabm binary runs");
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+}
+
+#[test]
 fn unknown_flags_are_named() {
     let out = gabm(&["--frobnicate"]);
     assert_eq!(exit_code(&out), 2, "{out:?}");
