@@ -17,12 +17,18 @@
 //!   bode       open-loop Bode of the behavioural opamp vs the analytic pole
 //!   fasvm      FAS interpreter vs bytecode VM vs CMOS (writes BENCH_fasvm.json)
 //!   parchar    parallel characterization + LU reuse (writes BENCH_parchar.json)
+//!   traceov    tracing overhead: disabled-probe cost on the comparator
+//!              transient + a fully traced all-layer run (writes
+//!              BENCH_traceov.json and TRACE_traceov.json)
 //!   all        everything above (default)
 //! ```
 //!
 //! `--threads <n>` (or env `GABM_THREADS`) sizes the worker pool used by
-//! the parallel characterization flows. SVG renderings of the diagrams are
-//! written to `figures/`.
+//! the parallel characterization flows. `--trace <out.json>` (or env
+//! `GABM_TRACE`) records a Chrome trace-event file of the whole
+//! invocation and `--trace-summary` prints the hierarchical text summary;
+//! both use the same shared flag parser as `gabm`. SVG renderings of the
+//! diagrams are written to `figures/`.
 
 use gabm_bench::experiments::comparator_bench::{
     behavioural_comparator_circuit, behavioural_comparator_circuit_with, cmos_comparator_circuit,
@@ -41,37 +47,33 @@ use std::time::Instant;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut threads = None;
-    while let Some(pos) = argv.iter().position(|a| a == "--threads") {
-        if pos + 1 >= argv.len() {
-            eprintln!("error: --threads requires a value");
+    // The flag parsers are shared with `gabm` (gabm_trace::cli) so both
+    // binaries reject bad values with identical flag-naming messages.
+    let trace_cfg = match gabm_trace::cli::take_trace_flags(&mut argv) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("error: {msg}");
             std::process::exit(2);
         }
-        let value = argv.remove(pos + 1);
-        argv.remove(pos);
-        match value.parse::<usize>() {
-            Ok(n) if n > 0 => threads = Some(n),
-            _ => {
-                eprintln!(
-                    "error: invalid value '{value}' for --threads: expected a positive integer"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
-    let threads = match threads {
-        Some(n) => Some(n),
-        None => match gabm_par::env_threads() {
+    };
+    let threads = match gabm_trace::cli::take_threads_flag(&mut argv) {
+        Ok(Some(n)) => Some(n),
+        Ok(None) => match gabm_par::env_threads() {
             Ok(n) => n,
             Err(msg) => {
                 eprintln!("error: {msg}");
                 std::process::exit(2);
             }
         },
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
     };
     if let Some(n) = threads {
         gabm_par::set_global_threads(n);
     }
+    gabm_trace::cli::maybe_enable(&trace_cfg);
     let which = argv.into_iter().next().unwrap_or_else(|| "all".to_string());
     let all = which == "all";
     std::fs::create_dir_all("figures").ok();
@@ -136,8 +138,16 @@ fn main() {
         parchar();
         ran = true;
     }
+    if all || which == "traceov" {
+        traceov();
+        ran = true;
+    }
     if !ran {
         eprintln!("unknown experiment '{which}' — see the module docs for the list");
+        std::process::exit(2);
+    }
+    if let Err(msg) = gabm_trace::cli::finalize(&trace_cfg) {
+        eprintln!("error: {msg}");
         std::process::exit(2);
     }
 }
@@ -686,16 +696,14 @@ fn fasvm() {
             let r = ckt.tran(&TranSpec::new(tstop)).expect("tran runs");
             best = best.min(t0.elapsed().as_secs_f64());
             let outp = nodes[3];
-            out = Some((
-                r.stats.newton_iterations,
-                r.voltage_waveform(outp).expect("outp waveform"),
-            ));
+            out = Some((r.stats, r.voltage_waveform(outp).expect("outp waveform")));
         }
-        let (nr, w) = out.expect("at least one repetition");
-        (best, nr, w)
+        let (stats, w) = out.expect("at least one repetition");
+        (best, stats, w)
     };
-    let (t_interp, nr_interp, w_interp) = run(FasBackend::Interp);
-    let (t_vm, nr_vm, w_vm) = run(FasBackend::Vm);
+    let (t_interp, s_interp, w_interp) = run(FasBackend::Interp);
+    let (t_vm, s_vm, w_vm) = run(FasBackend::Vm);
+    let (nr_interp, nr_vm) = (s_interp.newton_iterations, s_vm.newton_iterations);
     assert_eq!(
         nr_interp, nr_vm,
         "backends must take the same Newton trajectory"
@@ -728,9 +736,13 @@ fn fasvm() {
         "{{\n  \"experiment\": \"fasvm\",\n  \"tstop\": {tstop:e},\n  \"reps\": {REPS},\n  \
          \"ops\": {},\n  \"regs\": {},\n  \"interp_s\": {t_interp:.6},\n  \"vm_s\": {t_vm:.6},\n  \
          \"cmos_s\": {t_cmos:.6},\n  \"newton_iterations\": {nr_interp},\n  \
+         \"accepted_steps\": {},\n  \"rejected_steps\": {},\n  \"vm_tran_wall_s\": {:.6},\n  \
          \"speedup_vm_over_interp\": {speedup:.4},\n  \"waveform_rms_diff\": {rms:e}\n}}\n",
         prog.op_count(),
-        prog.reg_count()
+        prog.reg_count(),
+        s_vm.accepted_steps,
+        s_vm.rejected_steps,
+        s_vm.wall_s
     );
     if std::fs::write("BENCH_fasvm.json", &json).is_ok() {
         println!("  [written to BENCH_fasvm.json]");
@@ -913,6 +925,7 @@ fn parchar() {
          \"lu_reuse_off_s\": {t_off:.6},\n  \"lu_reuse_on_s\": {t_on:.6},\n  \
          \"speedup_lu_reuse\": {speedup_lu:.4},\n  \"factorizations\": {},\n  \
          \"refactorizations\": {},\n  \"newton_iterations\": {},\n  \
+         \"accepted_steps\": {},\n  \"rejected_steps\": {},\n  \"tran_wall_s\": {:.6},\n  \
          \"dense_default_s\": {t_dense:.6}\n}}\n",
         times[&1],
         times[&2],
@@ -922,9 +935,138 @@ fn parchar() {
         dist.std_dev,
         s_on.factorizations,
         s_on.refactorizations,
-        s_on.newton_iterations
+        s_on.newton_iterations,
+        s_on.accepted_steps,
+        s_on.rejected_steps,
+        s_on.wall_s
     );
     if std::fs::write("BENCH_parchar.json", &json).is_ok() {
         println!("  [written to BENCH_parchar.json]");
+    }
+}
+
+/// Tracing-overhead gate: the compiled-in instrumentation must cost no
+/// more than 2% of the comparator transient while tracing is disabled.
+/// The disabled probe cost is measured directly (a tight span loop) and
+/// scaled by the number of probe sites one run passes; a fully traced
+/// all-layer run (sim + fasvm + charac + par) is then recorded and its
+/// Chrome JSON written to `TRACE_traceov.json` for CI validation.
+/// Writes `BENCH_traceov.json`.
+fn traceov() {
+    use gabm_charac::monte_carlo::{monte_carlo_on, Scatter};
+    use gabm_charac::{CharacError, ThreadPool};
+    use gabm_fasvm::FasBackend;
+    use std::collections::BTreeMap;
+
+    banner("Tracing overhead — disabled-probe cost and a fully traced run");
+    let was_enabled = gabm_trace::enabled();
+    if was_enabled {
+        println!("  [note: traceov drives tracing itself; the --trace file restarts here]");
+    }
+    gabm_trace::disable();
+
+    let stim = ComparatorStimulus::default();
+    let tstop = 60.0e-6;
+    const REPS: usize = 5;
+    let (mut t_disabled, mut stats) = (f64::INFINITY, None);
+    for _ in 0..REPS {
+        let (mut ckt, _) =
+            behavioural_comparator_circuit_with(&stim, FasBackend::Vm).expect("bench builds");
+        let t0 = Instant::now();
+        let r = ckt.tran(&TranSpec::new(tstop)).expect("tran runs");
+        t_disabled = t_disabled.min(t0.elapsed().as_secs_f64());
+        stats = Some(r.stats);
+    }
+    let stats = stats.expect("at least one repetition");
+
+    // Disabled probe cost: constructing and dropping a span with tracing
+    // off is the exact code the hot paths execute.
+    const PROBES: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..PROBES {
+        let _ = std::hint::black_box(gabm_trace::span("traceov.probe"));
+    }
+    let ns_per_probe = t0.elapsed().as_nanos() as f64 / f64::from(PROBES);
+
+    // Probe sites one disabled transient passes: the tran/step/newton
+    // spans plus every counter bump in the engine (the OP pre-solve adds
+    // one more step-less Newton solve).
+    let attempts = stats.accepted_steps + stats.rejected_steps;
+    let probes_per_run = (1
+        + attempts                                      // sim.tran.step spans
+        + 2 * (attempts + 1)                            // sim.newton spans + iteration counters
+        + stats.factorizations + stats.refactorizations // LU counters
+        + attempts) as f64; // accepted/rejected counters
+    let overhead_disabled_pct = probes_per_run * ns_per_probe / (t_disabled * 1e9) * 100.0;
+
+    // The traced phase drives every instrumented layer once: bytecode
+    // compilation (fasvm), the comparator transient (sim), and a small
+    // Monte-Carlo on a 2-worker pool (charac + par).
+    gabm_trace::enable();
+    let spec = ComparatorSpec::default();
+    let model = spec.model().expect("comparator model compiles");
+    gabm_fasvm::compile_program(&model).expect("comparator bytecode compiles");
+    let (mut ckt, _) =
+        behavioural_comparator_circuit_with(&stim, FasBackend::Vm).expect("bench builds");
+    let t0 = Instant::now();
+    ckt.tran(&TranSpec::new(tstop)).expect("traced tran runs");
+    let t_enabled = t0.elapsed().as_secs_f64();
+    let mut scatters = BTreeMap::new();
+    scatters.insert("r".to_string(), Scatter::new(1.0e3, 0.05));
+    let pool = ThreadPool::new(2);
+    let measure = |p: &BTreeMap<String, f64>| -> Result<f64, CharacError> {
+        let mut ckt = gabm_sim::Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a,
+            gabm_sim::Circuit::GROUND,
+            gabm_sim::devices::SourceWave::dc(1.0),
+        );
+        ckt.add_resistor("R1", a, b, p["r"])
+            .map_err(CharacError::Sim)?;
+        ckt.add_resistor("R2", b, gabm_sim::Circuit::GROUND, 1.0e3)
+            .map_err(CharacError::Sim)?;
+        let op = ckt.op().map_err(CharacError::Sim)?;
+        Ok(op.voltage(b))
+    };
+    monte_carlo_on(&pool, &scatters, 8, 1994, measure).expect("MC runs");
+    let trace = gabm_trace::finish();
+    let spans = trace.span_count();
+    if std::fs::write("TRACE_traceov.json", trace.to_chrome_json(false)).is_ok() {
+        println!("  [traced all-layer run written to TRACE_traceov.json]");
+    }
+    print!("{}", trace.summary());
+    if was_enabled {
+        gabm_trace::enable();
+    }
+
+    let overhead_enabled_pct = (t_enabled / t_disabled - 1.0) * 100.0;
+    println!(
+        "\ncomparator transient: disabled {t_disabled:.4} s, traced {t_enabled:.4} s \
+         ({overhead_enabled_pct:+.1}% measured, noisy)"
+    );
+    println!(
+        "disabled probe: {ns_per_probe:.2} ns x {probes_per_run:.0} sites/run \
+         = {overhead_disabled_pct:.4}% of the transient"
+    );
+    assert!(
+        overhead_disabled_pct <= 2.0,
+        "disabled tracing overhead {overhead_disabled_pct:.3}% exceeds the 2% budget"
+    );
+    println!("TRACEOV-OK overhead_disabled_pct={overhead_disabled_pct:.4}");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"traceov\",\n  \"tstop\": {tstop:e},\n  \"reps\": {REPS},\n  \
+         \"tran_disabled_s\": {t_disabled:.6},\n  \"tran_enabled_s\": {t_enabled:.6},\n  \
+         \"ns_per_disabled_probe\": {ns_per_probe:.3},\n  \"probes_per_run\": {probes_per_run},\n  \
+         \"overhead_disabled_pct\": {overhead_disabled_pct:.4},\n  \
+         \"overhead_enabled_pct\": {overhead_enabled_pct:.4},\n  \"traced_spans\": {spans},\n  \
+         \"accepted_steps\": {},\n  \"rejected_steps\": {},\n  \"tran_wall_s\": {:.6}\n}}\n",
+        stats.accepted_steps, stats.rejected_steps, stats.wall_s
+    );
+    if std::fs::write("BENCH_traceov.json", &json).is_ok() {
+        println!("  [written to BENCH_traceov.json]");
     }
 }

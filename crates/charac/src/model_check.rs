@@ -163,7 +163,12 @@ pub fn check_model_rigs_on(
     checks: &[RigCheck<'_>],
     tolerance: f64,
 ) -> Result<ModelCheckReport, CharacError> {
-    let outcomes = pool.par_map(checks, |_, check| (check.extract)());
+    let _span = gabm_trace::span_with("charac.model_check", "model", || model.to_string());
+    let outcomes = pool.par_map(checks, |_, check| {
+        let _s =
+            gabm_trace::span_with("charac.mc.rig", "parameter", || check.parameter.to_string());
+        (check.extract)()
+    });
     let mut extractions = Vec::with_capacity(checks.len());
     for outcome in outcomes {
         extractions.push(outcome?);

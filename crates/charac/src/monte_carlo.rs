@@ -130,7 +130,11 @@ pub fn monte_carlo_on(
     if samples == 0 {
         return Err(CharacError::BadRig("need at least one sample".into()));
     }
-    let outcomes = pool.par_map_n(samples, |k| measure(&draw_params(scatters, seed, k)));
+    let _span = gabm_trace::span("charac.monte_carlo");
+    let outcomes = pool.par_map_n(samples, |k| {
+        let _s = gabm_trace::span_with("charac.mc.sample", "k", || k.to_string());
+        measure(&draw_params(scatters, seed, k))
+    });
     let mut values = Vec::with_capacity(samples);
     let mut failures = 0usize;
     for outcome in outcomes {

@@ -79,7 +79,11 @@ pub fn scan_validity_on(
     let grid: Vec<f64> = (0..points)
         .map(|k| lo * (hi / lo).powf(k as f64 / (points - 1) as f64))
         .collect();
-    let outcomes = pool.par_map(&grid, |_, &x| probe(x));
+    let _span = gabm_trace::span_with("charac.validity", "axis", || axis.to_string());
+    let outcomes = pool.par_map(&grid, |k, &x| {
+        let _s = gabm_trace::span_with("charac.validity.probe", "k", || k.to_string());
+        probe(x)
+    });
     let mut failures = 0usize;
     let valid: Vec<bool> = outcomes
         .into_iter()

@@ -117,6 +117,72 @@ fn property_value(d: &FunctionalDiagram, value: &PropertyValue) -> Option<f64> {
     }
 }
 
+/// Output ports that drive nothing — neither wired to a net nor exposed
+/// on the diagram interface. These are the candidate sources offered by
+/// the GABM002/GABM003 connection suggestions: (owning symbol id,
+/// human-readable port description, fixed dimension if the symbol's
+/// semantics pin one).
+fn dangling_outputs(d: &FunctionalDiagram) -> Vec<(usize, String, Option<Dimension>)> {
+    let exposed: Vec<PortRef> = d.interface().iter().map(|itf| itf.inner).collect();
+    let mut out = Vec::new();
+    for sym in d.symbols() {
+        for (idx, spec) in sym.ports().iter().enumerate() {
+            if spec.direction != PortDirection::Output {
+                continue;
+            }
+            let pr = PortRef {
+                symbol: SymbolId(sym.id),
+                port: idx,
+            };
+            if d.net_of(pr).is_none() && !exposed.contains(&pr) {
+                out.push((
+                    sym.id,
+                    format!("output port '{}' of {sym}", spec.name),
+                    spec.dimension,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Whether a dangling output carrying `have` could legally feed a
+/// consumer expecting `want`: fixed dimensions must agree; an unfixed
+/// side is compatible with anything (its dimension is inferred from
+/// context once connected).
+fn dimensions_compatible(want: Option<Dimension>, have: Option<Dimension>) -> bool {
+    match (want, have) {
+        (Some(w), Some(h)) => w == h,
+        _ => true,
+    }
+}
+
+/// Renders a candidate connection as a `help:` suggestion — advisory
+/// only, never an autofix: picking among several plausible sources is a
+/// design decision the tool must not make (§3.2 leaves repair to the
+/// editor).
+fn suggest_candidates(
+    mut diag: Diagnostic,
+    candidates: &[(usize, String, Option<Dimension>)],
+    exclude_symbol: Option<usize>,
+    want: Option<Dimension>,
+    verb: &str,
+) -> Diagnostic {
+    for (_, name, have) in candidates
+        .iter()
+        .filter(|(owner, _, _)| Some(*owner) != exclude_symbol)
+        .filter(|(_, _, have)| dimensions_compatible(want, *have))
+        .take(3)
+    {
+        let dim = match have {
+            Some(dimension) => format!(" (carries {dimension})"),
+            None => String::new(),
+        };
+        diag = diag.with_help(format!("{verb} the unconnected {name}{dim}"));
+    }
+    diag
+}
+
 /// GABM001/GABM002 — the net driver rule: "a net must be bound to one and
 /// only one output port".
 fn check_net_drivers(d: &FunctionalDiagram, report: &mut CheckReport) {
@@ -144,13 +210,31 @@ fn check_net_drivers(d: &FunctionalDiagram, report: &mut CheckReport) {
             report.push(diag);
         }
         if inputs > 0 && drivers.is_empty() {
-            report.push(Diagnostic::new(
+            let diag = Diagnostic::new(
                 Code::UndrivenNet,
                 format!(
                     "net {} is consumed but bound to no output port (\"a net must be bound to one and only one output port\")",
                     net.id.0
                 ),
                 Location::Net(net.id),
+            );
+            // What the net's consumers require, when any of their input
+            // ports fixes a dimension.
+            let want = net.ports.iter().find_map(|p| {
+                let sym = d.symbol(p.symbol).ok()?;
+                let spec = &sym.ports()[p.port];
+                if spec.direction == PortDirection::Input {
+                    spec.dimension
+                } else {
+                    None
+                }
+            });
+            report.push(suggest_candidates(
+                diag,
+                &dangling_outputs(d),
+                None,
+                want,
+                "candidate driver: connect",
             ));
         }
     }
@@ -161,6 +245,7 @@ fn check_net_drivers(d: &FunctionalDiagram, report: &mut CheckReport) {
 /// once the diagram is used hierarchically.
 fn check_port_connections(d: &FunctionalDiagram, report: &mut CheckReport) {
     let exposed: Vec<PortRef> = d.interface().iter().map(|itf| itf.inner).collect();
+    let candidates = dangling_outputs(d);
     for sym in d.symbols() {
         let ports = sym.ports();
         // Pass 1: per-port connectivity, so GABM004 below can tell
@@ -188,13 +273,23 @@ fn check_port_connections(d: &FunctionalDiagram, report: &mut CheckReport) {
                 .all(|(spec, &conn)| spec.direction != PortDirection::Output || !conn);
         for (spec, &conn) in ports.iter().zip(&connected) {
             if !conn && spec.direction == PortDirection::Input {
-                report.push(Diagnostic::new(
+                let diag = Diagnostic::new(
                     Code::UnconnectedInput,
                     format!("input port '{}' of {sym} is unconnected", spec.name),
                     Location::Port {
                         symbol: SymbolId(sym.id),
                         port: spec.name.clone(),
                     },
+                );
+                // Same-symbol outputs are excluded: wiring a symbol's
+                // output straight back into its own input is an
+                // algebraic loop (GABM008), not a repair.
+                report.push(suggest_candidates(
+                    diag,
+                    &candidates,
+                    Some(sym.id),
+                    spec.dimension,
+                    "candidate source: connect",
                 ));
             }
             if !conn && spec.direction == PortDirection::Output {
@@ -912,6 +1007,126 @@ mod tests {
         let r = check_diagram(&d);
         assert!(!r.is_consistent());
         assert!(has_code(&r, Code::UndrivenNet));
+    }
+
+    #[test]
+    fn undriven_net_suggests_dimension_matched_drivers() {
+        // A net consumed by a current generator with no driver. Of the
+        // dangling outputs in the diagram, the current-dimensioned
+        // parameter and the dimension-agnostic gain are plausible
+        // drivers; the voltage probe is filtered out by its dimension.
+        let mut d = FunctionalDiagram::new("suggest");
+        let gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        });
+        let g = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+        let probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        });
+        let ipar = d.add_symbol(SymbolKind::Parameter {
+            param: "ib".into(),
+            dimension: Dimension::CURRENT,
+        });
+        // Two inputs tied together with no driver: GABM002.
+        d.connect(d.port(gen, "in").unwrap(), d.port(g, "in").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        let diag = r
+            .diagnostics
+            .iter()
+            .find(|di| di.code == Code::UndrivenNet)
+            .expect("GABM002 reported");
+        let probe_sym = d.symbol(probe).unwrap().to_string();
+        let ipar_sym = d.symbol(ipar).unwrap().to_string();
+        let gain_sym = d.symbol(g).unwrap().to_string();
+        assert!(
+            diag.help.iter().any(|h| h.contains(&ipar_sym)),
+            "current parameter suggested: {:?}",
+            diag.help
+        );
+        assert!(
+            diag.help.iter().any(|h| h.contains(&gain_sym)),
+            "dimension-agnostic gain suggested: {:?}",
+            diag.help
+        );
+        assert!(
+            !diag.help.iter().any(|h| h.contains(&probe_sym)),
+            "voltage probe must be filtered out: {:?}",
+            diag.help
+        );
+        assert!(diag.fix.is_none(), "suggestions are help, not autofixes");
+    }
+
+    #[test]
+    fn unconnected_input_suggests_sources_but_never_its_own_output() {
+        // A generator input dangles next to a dangling voltage probe
+        // output: the probe is suggested (dimension VOLTAGE matches the
+        // voltage generator input); the generator's own port list holds
+        // no outputs, and the gain's dangling output is suggested too —
+        // but a symbol is never told to feed itself.
+        let mut d = FunctionalDiagram::new("suggest2");
+        let gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::VOLTAGE,
+        });
+        let probe = d.add_symbol(SymbolKind::Probe {
+            quantity: Dimension::VOLTAGE,
+        });
+        // Tie the bidir pins together so both symbols are partly
+        // connected and only the in/out ports dangle.
+        d.connect(d.port(gen, "pin").unwrap(), d.port(probe, "pin").unwrap())
+            .unwrap();
+        let r = check_diagram(&d);
+        let diag = r
+            .diagnostics
+            .iter()
+            .find(|di| di.code == Code::UnconnectedInput)
+            .expect("GABM003 reported");
+        let probe_sym = d.symbol(probe).unwrap().to_string();
+        assert!(
+            diag.help.iter().any(|h| h.contains(&probe_sym)),
+            "matching probe output suggested: {:?}",
+            diag.help
+        );
+
+        // A lone gain: its own dangling output must not be offered as a
+        // source for its own dangling input (that would be GABM008).
+        let mut d = FunctionalDiagram::new("selfless");
+        d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+        let r = check_diagram(&d);
+        let diag = r
+            .diagnostics
+            .iter()
+            .find(|di| di.code == Code::UnconnectedInput)
+            .expect("GABM003 reported");
+        assert!(
+            diag.help.is_empty(),
+            "no self-loop suggestion: {:?}",
+            diag.help
+        );
+    }
+
+    #[test]
+    fn connection_suggestions_are_capped_at_three() {
+        let mut d = FunctionalDiagram::new("many");
+        let gen = d.add_symbol(SymbolKind::Generator {
+            quantity: Dimension::CURRENT,
+        });
+        let g = d.add_symbol_with(SymbolKind::Gain, &[("a", PropertyValue::Number(1.0))], None);
+        d.connect(d.port(gen, "in").unwrap(), d.port(g, "in").unwrap())
+            .unwrap();
+        for k in 0..5 {
+            d.add_symbol(SymbolKind::Parameter {
+                param: format!("p{k}"),
+                dimension: Dimension::CURRENT,
+            });
+        }
+        let r = check_diagram(&d);
+        let diag = r
+            .diagnostics
+            .iter()
+            .find(|di| di.code == Code::UndrivenNet)
+            .expect("GABM002 reported");
+        assert_eq!(diag.help.len(), 3, "{:?}", diag.help);
     }
 
     #[test]

@@ -486,6 +486,9 @@ pub struct Diagnostic {
     pub location: Location,
     /// Explanatory notes (inference chains, cycle paths, …).
     pub notes: Vec<String>,
+    /// Actionable suggestions (candidate connections, renames, …) —
+    /// advisory only, never machine-applied; rendered as `help:` lines.
+    pub help: Vec<String>,
     /// Machine-applicable repair, when a safe one exists.
     pub fix: Option<Fix>,
 }
@@ -499,6 +502,7 @@ impl Diagnostic {
             message: message.into(),
             location,
             notes: Vec::new(),
+            help: Vec::new(),
             fix: None,
         }
     }
@@ -506,6 +510,12 @@ impl Diagnostic {
     /// Appends an explanatory note.
     pub fn with_note(mut self, note: impl Into<String>) -> Self {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Appends an actionable (but not machine-applicable) suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help.push(help.into());
         self
     }
 
@@ -548,6 +558,12 @@ impl Diagnostic {
                 Value::Array(self.notes.iter().cloned().map(Value::String).collect()),
             ));
         }
+        if !self.help.is_empty() {
+            obj.push((
+                "help".to_string(),
+                Value::Array(self.help.iter().cloned().map(Value::String).collect()),
+            ));
+        }
         if let Some(fix) = &self.fix {
             obj.push(("fix".to_string(), fix.to_json()));
         }
@@ -570,13 +586,16 @@ impl Diagnostic {
             .ok_or_else(|| schema(format!("unknown severity '{sev_str}'")))?;
         let message = value.req("message")?.str()?.to_string();
         let location = Location::from_json(value.req("location")?)?;
+        let strings = |v: &Value| -> Result<Vec<String>, JsonError> {
+            v.arr()?.iter().map(|n| Ok(n.str()?.to_string())).collect()
+        };
         let notes = match value.get("notes") {
             None => Vec::new(),
-            Some(v) => v
-                .arr()?
-                .iter()
-                .map(|n| Ok(n.str()?.to_string()))
-                .collect::<Result<_, JsonError>>()?,
+            Some(v) => strings(v)?,
+        };
+        let help = match value.get("help") {
+            None => Vec::new(),
+            Some(v) => strings(v)?,
         };
         let fix = match value.get("fix") {
             None => None,
@@ -588,6 +607,7 @@ impl Diagnostic {
             message,
             location,
             notes,
+            help,
             fix,
         })
     }
@@ -623,6 +643,9 @@ impl fmt::Display for Diagnostic {
         for note in &self.notes {
             write!(f, "\n  note: {note}")?;
         }
+        for help in &self.help {
+            write!(f, "\n  help: {help}")?;
+        }
         if let Some(fix) = &self.fix {
             write!(f, "\n  fix: {}", fix.label)?;
         }
@@ -656,11 +679,13 @@ mod tests {
             "net 3 driven by 2 output ports",
             Location::Net(NetId(3)),
         )
-        .with_note("first driver: symbol 1");
+        .with_note("first driver: symbol 1")
+        .with_help("disconnect one of the drivers");
         let text = d.to_string();
         assert!(text.contains("error[GABM001]"));
         assert!(text.contains("net 3"));
         assert!(text.contains("note: first driver"));
+        assert!(text.contains("help: disconnect one of the drivers"));
     }
 
     #[test]
@@ -690,6 +715,7 @@ mod tests {
             Location::Source { line: 4, col: 1 },
         )
         .with_note("constant bounds fold to 10 > -10")
+        .with_help("write the smaller bound first: limit(b, -10, 10)")
         .with_fix(Fix::new(
             "swap the limit bounds",
             vec![

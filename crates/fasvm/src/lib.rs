@@ -97,14 +97,28 @@ impl std::error::Error for VmError {}
 ///
 /// [`VmError`] on encoding-capacity overflow; see its docs.
 pub fn compile_program(model: &CompiledModel) -> Result<Program, VmError> {
+    let _span = gabm_trace::span_with("fasvm.compile", "model", || model.name().to_string());
+    let lowered = {
+        let _p = gabm_trace::span("fasvm.lower");
+        ir::lower(model)
+    };
     let ir::Lowered {
         insts,
         n_vregs,
         mut stats,
-    } = ir::lower(model);
-    let insts = ir::dce(insts, &mut stats);
-    let (assign, n_regs) = regalloc::allocate(&insts, n_vregs)?;
-    let (ops, consts) = emit(&insts, &assign, model)?;
+    } = lowered;
+    let insts = {
+        let _p = gabm_trace::span("fasvm.dce");
+        ir::dce(insts, &mut stats)
+    };
+    let (assign, n_regs) = {
+        let _p = gabm_trace::span("fasvm.regalloc");
+        regalloc::allocate(&insts, n_vregs)?
+    };
+    let (ops, consts) = {
+        let _p = gabm_trace::span("fasvm.emit");
+        emit(&insts, &assign, model)?
+    };
     let delayt_vars = (0..model.n_delayt())
         .map(|inst| delayt_var(model.body(), inst))
         .collect();

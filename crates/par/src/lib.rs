@@ -98,6 +98,10 @@ impl ThreadPool {
         let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.threads();
         let mut st = self.shared.state.lock().unwrap();
         st.queues[slot].push_back(job);
+        if gabm_trace::enabled() {
+            let depth: usize = st.queues.iter().map(VecDeque::len).sum();
+            gabm_trace::gauge_max("par.queue_depth", depth as u64);
+        }
         drop(st);
         self.shared.work_ready.notify_one();
     }
@@ -140,7 +144,14 @@ impl ThreadPool {
         R: Send,
     {
         if self.threads() <= 1 || items.len() <= 1 {
-            return items.iter().enumerate().map(|(k, t)| f(k, t)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(k, t)| {
+                    let _job = gabm_trace::span_root("par.job");
+                    f(k, t)
+                })
+                .collect();
         }
         let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
         slots.resize_with(items.len(), || None);
@@ -160,7 +171,12 @@ impl ThreadPool {
     /// order — [`ThreadPool::par_map`] without a backing slice.
     pub fn par_map_n<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
         if self.threads() <= 1 || n <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n)
+                .map(|k| {
+                    let _job = gabm_trace::span_root("par.job");
+                    f(k)
+                })
+                .collect();
         }
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
@@ -212,6 +228,7 @@ fn worker_loop(shared: &Shared, id: usize) {
                     .max_by_key(|(_, q)| q.len())
                     .map(|(i, _)| i);
                 if let Some(v) = victim {
+                    gabm_trace::add("par.steals", 1);
                     break st.queues[v].pop_back().expect("victim queue non-empty");
                 }
                 if st.shutdown {
@@ -247,6 +264,11 @@ impl<'env> Scope<'env, '_> {
         *self.state.pending.lock().unwrap() += 1;
         let state = Arc::clone(&self.state);
         let wrapped = move || {
+            // Detached root span: a job's trace path is the same whether
+            // it runs here or inline on the caller (see the fast paths of
+            // `par_map`/`par_map_n`), so span structure is invariant in
+            // the thread count.
+            let _job = gabm_trace::span_root("par.job");
             if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
                 let mut slot = state.panic.lock().unwrap();
                 if slot.is_none() {

@@ -160,6 +160,8 @@ impl AcResult {
 }
 
 pub(crate) fn solve_ac(circuit: &mut Circuit, spec: &AcSpec) -> Result<AcResult, SimError> {
+    let _span = gabm_trace::span("sim.ac");
+    let wall_start = std::time::Instant::now();
     let freqs = spec.sweep.frequencies()?;
     // Linearize about the operating point (devices cache gm/gds/...).
     let op = circuit.op()?;
@@ -180,6 +182,7 @@ pub(crate) fn solve_ac(circuit: &mut Circuit, spec: &AcSpec) -> Result<AcResult,
         stats.factorizations += 1;
         solutions.push(lu.solve(rhs)?);
     }
+    stats.wall_s = wall_start.elapsed().as_secs_f64();
     Ok(AcResult {
         freqs,
         solutions,

@@ -71,6 +71,8 @@ pub(crate) fn sweep(
         .device_index(source)
         .ok_or_else(|| SimError::UnknownDevice(source.to_string()))?;
 
+    let _span = gabm_trace::span("sim.dc");
+    let wall_start = std::time::Instant::now();
     let n = circuit.n_unknowns();
     let mut guess = vec![0.0; n];
     let mut values = Vec::new();
@@ -91,6 +93,7 @@ pub(crate) fn sweep(
         values.push(v);
         solutions.push(x);
     }
+    stats.wall_s = wall_start.elapsed().as_secs_f64();
     Ok(DcResult {
         values,
         solutions,

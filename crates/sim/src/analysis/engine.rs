@@ -47,12 +47,18 @@ pub(crate) fn newton_solve(
     setup: SolveSetup,
     stats: &mut SimStats,
 ) -> Result<NewtonOutcome, SimError> {
+    let _span = gabm_trace::span("sim.newton");
     // The cached sparse factorization lives on the circuit so its
     // symbolic analysis survives across solves (and time steps). Take it
     // out for the iteration and put it back on every exit path.
     let mut lu_cache = circuit.lu_cache.take();
+    let iters_before = stats.newton_iterations;
     let result = newton_iterate(circuit, mode, x0, setup, stats, &mut lu_cache);
     circuit.lu_cache = lu_cache;
+    gabm_trace::add(
+        "sim.newton.iterations",
+        (stats.newton_iterations - iters_before) as u64,
+    );
     result
 }
 
@@ -106,6 +112,7 @@ fn newton_iterate(
             crate::device::MatrixStore::Dense(m) => {
                 let lu = LuFactor::new(m).map_err(singular)?;
                 stats.factorizations += 1;
+                gabm_trace::add("sim.lu.full", 1);
                 lu.solve(rhs)?
             }
             crate::device::MatrixStore::Sparse(t) => {
@@ -119,15 +126,18 @@ fn newton_iterate(
                     Some(mut lu) if lu.pattern_matches(&a) => match lu.refactor(&a) {
                         Ok(()) => {
                             stats.refactorizations += 1;
+                            gabm_trace::add("sim.lu.refactor", 1);
                             lu
                         }
                         Err(_) => {
                             stats.factorizations += 1;
+                            gabm_trace::add("sim.lu.full", 1);
                             SparseLu::new(&a).map_err(singular)?
                         }
                     },
                     _ => {
                         stats.factorizations += 1;
+                        gabm_trace::add("sim.lu.full", 1);
                         SparseLu::new(&a).map_err(singular)?
                     }
                 };

@@ -77,6 +77,8 @@ fn solve_op_internal(
     circuit: &mut Circuit,
     guess: Option<&[f64]>,
 ) -> Result<(Vec<f64>, SimStats), SimError> {
+    let _span = gabm_trace::span("sim.op");
+    let wall_start = std::time::Instant::now();
     let n = circuit.n_unknowns();
     if n == 0 {
         return Ok((Vec::new(), SimStats::default()));
@@ -87,7 +89,10 @@ fn solve_op_internal(
 
     // 1. Plain Newton.
     match newton_solve(circuit, Mode::Dc, &x0, SolveSetup::default(), &mut stats) {
-        Ok(out) => return Ok((out.x, stats)),
+        Ok(out) => {
+            stats.wall_s = wall_start.elapsed().as_secs_f64();
+            return Ok((out.x, stats));
+        }
         Err(SimError::SingularMatrix { detail }) => {
             return Err(SimError::SingularMatrix { detail })
         }
@@ -124,6 +129,7 @@ fn solve_op_internal(
             // Final solve with the shunt removed entirely.
             if let Ok(out) = newton_solve(circuit, Mode::Dc, &x, SolveSetup::default(), &mut stats)
             {
+                stats.wall_s = wall_start.elapsed().as_secs_f64();
                 return Ok((out.x, stats));
             }
         }
@@ -153,6 +159,7 @@ fn solve_op_internal(
             }
         }
         if ok {
+            stats.wall_s = wall_start.elapsed().as_secs_f64();
             return Ok((x, stats));
         }
     }

@@ -154,6 +154,8 @@ pub(crate) fn solve_tran(circuit: &mut Circuit, spec: &TranSpec) -> Result<TranR
             spec.tstop
         )));
     }
+    let _span = gabm_trace::span("sim.tran");
+    let wall_start = std::time::Instant::now();
     let tstop = spec.tstop;
     let dt_init = spec.dt_init.unwrap_or(tstop / 1000.0);
     let dt_min = spec.dt_min.unwrap_or(tstop * 1e-9).min(dt_init);
@@ -167,6 +169,7 @@ pub(crate) fn solve_tran(circuit: &mut Circuit, spec: &TranSpec) -> Result<TranR
     let mut stats = op_result.stats;
     let mut x = op_result.solution().to_vec();
     if n == 0 {
+        stats.wall_s = wall_start.elapsed().as_secs_f64();
         return Ok(TranResult {
             times: vec![0.0],
             states: vec![x],
@@ -221,13 +224,16 @@ pub(crate) fn solve_tran(circuit: &mut Circuit, spec: &TranSpec) -> Result<TranR
             time: t + dt,
             coeffs,
         };
+        let step_span = gabm_trace::span("sim.tran.step");
         let solved = newton_solve(circuit, mode, &x, SolveSetup::default(), &mut stats);
+        drop(step_span);
         match solved {
             Err(SimError::SingularMatrix { detail }) => {
                 return Err(SimError::SingularMatrix { detail });
             }
             Err(_) => {
                 stats.rejected_steps += 1;
+                gabm_trace::add("sim.tran.rejected", 1);
                 match controller.newton_failure() {
                     Some(_) => continue,
                     None => return Err(SimError::TimestepTooSmall { time: t }),
@@ -253,6 +259,7 @@ pub(crate) fn solve_tran(circuit: &mut Circuit, spec: &TranSpec) -> Result<TranR
                 match controller.advance(lte_max) {
                     StepOutcome::Reject { .. } if dt > dt_min * 1.5 => {
                         stats.rejected_steps += 1;
+                        gabm_trace::add("sim.tran.rejected", 1);
                         continue;
                     }
                     _ => {}
@@ -275,6 +282,7 @@ pub(crate) fn solve_tran(circuit: &mut Circuit, spec: &TranSpec) -> Result<TranR
                 times.push(t_new);
                 states.push(x.clone());
                 stats.accepted_steps += 1;
+                gabm_trace::add("sim.tran.accepted", 1);
                 t = t_new;
                 dt_prev = dt;
                 if hit_bp {
@@ -294,6 +302,9 @@ pub(crate) fn solve_tran(circuit: &mut Circuit, spec: &TranSpec) -> Result<TranR
         }
     }
 
+    // The whole-run wall time, not the sum of the parts (the absorbed OP
+    // pre-solve already carried its own `wall_s`).
+    stats.wall_s = wall_start.elapsed().as_secs_f64();
     Ok(TranResult {
         times,
         states,

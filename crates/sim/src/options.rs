@@ -75,7 +75,7 @@ impl Options {
 /// Cumulative work counters, used by the benchmark harness to report the
 /// paper's §5 cost comparison in machine-independent terms as well as
 /// wall-clock.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
     /// Accepted time steps.
     pub accepted_steps: usize,
@@ -90,6 +90,10 @@ pub struct SimStats {
     pub refactorizations: usize,
     /// Total device evaluation sweeps.
     pub device_evals: usize,
+    /// Wall-clock seconds spent in the analysis that produced these stats
+    /// (set by each analysis entry point; [`SimStats::absorb`] sums, and a
+    /// composite analysis overwrites with its own total).
+    pub wall_s: f64,
 }
 
 impl SimStats {
@@ -101,6 +105,7 @@ impl SimStats {
         self.factorizations += other.factorizations;
         self.refactorizations += other.refactorizations;
         self.device_evals += other.device_evals;
+        self.wall_s += other.wall_s;
     }
 }
 
@@ -132,6 +137,7 @@ mod tests {
             factorizations: 5,
             refactorizations: 7,
             device_evals: 6,
+            wall_s: 0.25,
         });
         assert_eq!(a.accepted_steps, 3);
         assert_eq!(a.rejected_steps, 1);
@@ -139,5 +145,6 @@ mod tests {
         assert_eq!(a.factorizations, 5);
         assert_eq!(a.refactorizations, 7);
         assert_eq!(a.device_evals, 6);
+        assert_eq!(a.wall_s, 0.25);
     }
 }

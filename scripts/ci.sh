@@ -88,4 +88,34 @@ case "$(cat BENCH_parchar.json)" in
     *) echo "FAIL: BENCH_parchar.json missing speedup_lu_reuse" >&2; exit 1 ;;
 esac
 
+# Tracing gate: the disabled-probe overhead on the comparator transient
+# must stay within 2% (asserted in-process by the harness — a violation
+# aborts the run), and the traced phase must produce a valid Chrome
+# trace covering all four instrumented layers.
+echo "==> harness traceov (BENCH_traceov.json + TRACE_traceov.json)"
+rm -f BENCH_traceov.json TRACE_traceov.json
+target/release/harness traceov
+case "$(cat BENCH_traceov.json)" in
+    *'"overhead_disabled_pct"'*) ;;
+    *) echo "FAIL: BENCH_traceov.json missing overhead_disabled_pct" >&2; exit 1 ;;
+esac
+trace_report=$("$GABM" trace TRACE_traceov.json) || {
+    echo "FAIL: gabm trace rejected TRACE_traceov.json" >&2
+    exit 1
+}
+for root in sim.tran fasvm.compile charac.monte_carlo par.job; do
+    case "$trace_report" in
+        *"$root"*) ;;
+        *) echo "FAIL: trace is missing the $root root: $trace_report" >&2; exit 1 ;;
+    esac
+done
+
+# A traced end-to-end run through the gabm CLI round-trips its own
+# validator (the --trace plumbing is shared with the harness).
+echo "==> gabm --trace smoke"
+rm -f TRACE_lint.json
+"$GABM" lint --construct slew-rate --no-cache --trace TRACE_lint.json
+"$GABM" trace TRACE_lint.json > /dev/null
+rm -f TRACE_lint.json
+
 echo "CI OK"

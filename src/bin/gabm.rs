@@ -8,6 +8,7 @@
 //! gabm lint --construct <input-stage|output-stage|power-supply|slew-rate>
 //! gabm lint --list-passes
 //! gabm compile <file.fas> [--disasm]
+//! gabm trace <out.json>
 //! gabm help <command> | --version
 //! ```
 //!
@@ -22,6 +23,11 @@
 //! `target/gabm-lint-cache/` (override with `GABM_LINT_CACHE_DIR`,
 //! disable with `--no-cache`); `--format json` reports pass-level
 //! hit statistics in a `"cache"` object.
+//!
+//! `--trace <out.json>` (env fallback: `GABM_TRACE`) records a Chrome
+//! trace-event file of any command — spans from the simulator, bytecode
+//! compiler, characterization rigs and worker pool — and `gabm trace`
+//! validates such a file; `--trace-summary` prints the text summary.
 //!
 //! Exit status: `0` clean, `1` diagnostics found (errors always count;
 //! warnings only under `--deny-warnings`), `2` usage or I/O failure.
@@ -40,13 +46,17 @@ usage: gabm <command> [options]
 commands:
   lint     static analysis of diagrams, codegen IR and FAS source
   compile  compile a FAS model to register bytecode
+  trace    validate and summarize a Chrome trace-event file
   help     show help for a command: gabm help <command>
 
 flags:
-  --threads <n>   size of the worker pool for parallel characterization
-                  (default: all hardware threads; env: GABM_THREADS)
-  --version, -V   print the toolchain version
-  --help, -h      show this help
+  --threads <n>      size of the worker pool for parallel characterization
+                     (default: all hardware threads; env: GABM_THREADS)
+  --trace <out.json> record a Chrome trace-event file of this invocation
+                     (load it in Perfetto / chrome://tracing; env: GABM_TRACE)
+  --trace-summary    print a hierarchical span/counter summary on exit
+  --version, -V      print the toolchain version
+  --help, -h         show this help
 ";
 
 const LINT_USAGE: &str = "\
@@ -75,6 +85,14 @@ compiled program.
 
 options:
   --disasm   print the full disassembled bytecode listing
+";
+
+const TRACE_USAGE: &str = "\
+usage: gabm trace <file.json>
+
+Validates a Chrome trace-event file (as written by --trace) and prints
+what it contains: event counts, threads and the top-level spans. Exits
+2 if the file does not parse or is not a trace-event object.
 ";
 
 enum Format {
@@ -361,6 +379,85 @@ fn run_compile(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `gabm trace <file.json>`: validate a Chrome trace-event file.
+fn run_trace(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => {
+                if input.is_some() {
+                    return Err("more than one input file".to_string());
+                }
+                input = Some(other);
+            }
+        }
+    }
+    let Some(path) = input else {
+        return Err("no input file given".to_string());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let value = Value::parse(&text).map_err(|e| format!("'{path}' is not valid JSON: {e}"))?;
+    let events = value
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("'{path}' has no 'traceEvents' array"))?;
+    let (mut begins, mut ends, mut counters, mut metas) = (0usize, 0usize, 0usize, 0usize);
+    let mut tids = std::collections::BTreeSet::new();
+    // A span is top-level when its Begin arrives with no span still open
+    // on the same thread.
+    let mut depth: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut top_level = std::collections::BTreeSet::new();
+    for (k, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("'{path}': event {k} has no 'ph' string"))?;
+        let tid = ev.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        match ph {
+            "B" => {
+                begins += 1;
+                tids.insert(tid);
+                let d = depth.entry(tid).or_insert(0);
+                if *d == 0 {
+                    if let Some(name) = ev.get("name").and_then(Value::as_str) {
+                        top_level.insert(name.to_string());
+                    }
+                }
+                *d += 1;
+            }
+            "E" => {
+                ends += 1;
+                let d = depth.entry(tid).or_insert(0);
+                *d = d.saturating_sub(1);
+            }
+            "C" => counters += 1,
+            "M" => metas += 1,
+            other => return Err(format!("'{path}': event {k} has unknown phase '{other}'")),
+        }
+    }
+    if begins != ends {
+        return Err(format!(
+            "'{path}': unbalanced spans ({begins} begin vs {ends} end events)"
+        ));
+    }
+    println!(
+        "{path}: ok — {} event(s): {} span(s) on {} thread(s), {} counter(s), {} metadata",
+        events.len(),
+        begins,
+        tids.len(),
+        counters,
+        metas
+    );
+    if !top_level.is_empty() {
+        let names: Vec<&str> = top_level.iter().map(String::as_str).collect();
+        println!("top-level spans: {}", names.join(", "));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `gabm help <command>`.
 fn run_help(argv: &[String]) -> ExitCode {
     match argv.first().map(String::as_str) {
@@ -376,6 +473,10 @@ fn run_help(argv: &[String]) -> ExitCode {
             print!("{COMPILE_USAGE}");
             ExitCode::SUCCESS
         }
+        Some("trace") => {
+            print!("{TRACE_USAGE}");
+            ExitCode::SUCCESS
+        }
         Some(other) => {
             eprintln!("error: unknown command '{other}'\n{TOP_USAGE}");
             ExitCode::from(2)
@@ -383,28 +484,11 @@ fn run_help(argv: &[String]) -> ExitCode {
     }
 }
 
-/// Removes `--threads <n>` from `argv` (it may appear anywhere) and
-/// returns the requested pool size, falling back to a validated
-/// `GABM_THREADS`.
+/// Removes `--threads <n>` from `argv` (shared parser, so `gabm` and
+/// `harness` name the flag identically in errors) and falls back to a
+/// validated `GABM_THREADS`.
 fn take_threads_flag(argv: &mut Vec<String>) -> Result<Option<usize>, String> {
-    let mut threads = None;
-    while let Some(pos) = argv.iter().position(|a| a == "--threads") {
-        if pos + 1 >= argv.len() {
-            return Err("--threads requires a value".to_string());
-        }
-        let value = argv.remove(pos + 1);
-        argv.remove(pos);
-        threads = Some(
-            value
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or(format!(
-                    "invalid value '{value}' for --threads: expected a positive integer"
-                ))?,
-        );
-    }
-    match threads {
+    match gabm::trace::cli::take_threads_flag(argv)? {
         Some(n) => Ok(Some(n)),
         None => gabm::par::env_threads(),
     }
@@ -412,6 +496,13 @@ fn take_threads_flag(argv: &mut Vec<String>) -> Result<Option<usize>, String> {
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let trace_cfg = match gabm::trace::cli::take_trace_flags(&mut argv) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{TOP_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     match take_threads_flag(&mut argv) {
         Ok(Some(n)) => {
             gabm::par::set_global_threads(n);
@@ -422,6 +513,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    gabm::trace::cli::maybe_enable(&trace_cfg);
+    let code = dispatch(&argv);
+    if let Err(msg) = gabm::trace::cli::finalize(&trace_cfg) {
+        eprintln!("error: {msg}");
+        return ExitCode::from(2);
+    }
+    code
+}
+
+fn dispatch(argv: &[String]) -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("lint") => match run_lint(&argv[1..]) {
             Ok(code) => code,
@@ -434,6 +535,13 @@ fn main() -> ExitCode {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("error: {msg}\n{COMPILE_USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some("trace") => match run_trace(&argv[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{TRACE_USAGE}");
                 ExitCode::from(2)
             }
         },

@@ -47,3 +47,4 @@ pub use gabm_numeric as numeric;
 pub use gabm_par as par;
 pub use gabm_schematic as schematic;
 pub use gabm_sim as sim;
+pub use gabm_trace as trace;

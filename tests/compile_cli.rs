@@ -174,6 +174,103 @@ fn threads_env_is_validated() {
 }
 
 #[test]
+fn trace_flag_rejects_bad_values_naming_the_flag() {
+    let out = gabm(&["compile", "x.fas", "--trace"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--trace requires a value"),
+        "{out:?}"
+    );
+    // A flag where the path should be is a missing value, not a file
+    // named "--threads" — and the message names both flags.
+    let out = gabm(&["--trace", "--threads", "2", "compile", "x.fas"]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("invalid value '--threads' for --trace"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn trace_flag_writes_chrome_json_validated_by_trace_subcommand() {
+    let dir = std::env::temp_dir().join("gabm_trace_cli_out");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("compile_trace.json");
+    let out = gabm(&[
+        "--trace",
+        trace.to_str().unwrap(),
+        "compile",
+        fixture("clean.fas").to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(text.contains("\"traceEvents\""), "{text}");
+    assert!(text.contains("fasvm.compile"), "{text}");
+    // The trace subcommand accepts its own output...
+    let out = gabm(&["trace", trace.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("top-level spans: fasvm.compile"),
+        "{stdout}"
+    );
+    // ...and rejects files that are not trace-event JSON.
+    let bad = dir.join("not_a_trace.json");
+    std::fs::write(&bad, "{\"nope\": 1}").unwrap();
+    let out = gabm(&["trace", bad.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no 'traceEvents' array"),
+        "{out:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_env_fallback_and_summary_flag() {
+    let dir = std::env::temp_dir().join("gabm_trace_cli_env");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("env_trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_gabm"))
+        .args(["compile", fixture("clean.fas").to_str().unwrap()])
+        .env("GABM_TRACE", trace.to_str().unwrap())
+        .output()
+        .expect("gabm binary runs");
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert!(trace.exists(), "GABM_TRACE fallback writes the trace file");
+
+    let out = gabm(&[
+        "--trace-summary",
+        "compile",
+        fixture("clean.fas").to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace summary:"), "{stdout}");
+    assert!(stdout.contains("fasvm.compile"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threads_and_trace_flags_compose_across_positions() {
+    let dir = std::env::temp_dir().join("gabm_trace_cli_compose");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("composed.json");
+    let out = gabm(&[
+        "--threads",
+        "2",
+        "compile",
+        fixture("clean.fas").to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    assert!(trace.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_flags_are_named() {
     let out = gabm(&["--frobnicate"]);
     assert_eq!(exit_code(&out), 2, "{out:?}");
